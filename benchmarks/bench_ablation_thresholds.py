@@ -1,0 +1,14 @@
+"""Ablation: sensitivity of the duplicate/Cartesian detectors to the theta thresholds.
+
+Regenerates the paper artefact from the shared workbench and reports the
+wall-clock cost of the experiment driver through pytest-benchmark.
+"""
+
+from repro.experiments import ablation_thresholds
+
+from conftest import run_experiment
+
+
+def test_ablation_thresholds(benchmark, workbench):
+    result = run_experiment(benchmark, ablation_thresholds, workbench)
+    assert result["experiment"]

@@ -1,0 +1,14 @@
+"""Figure 4: redundancy bitmap breakdown of the FB15k-like test set.
+
+Regenerates the paper artefact from the shared workbench and reports the
+wall-clock cost of the experiment driver through pytest-benchmark.
+"""
+
+from repro.experiments import figure4_redundancy_pie
+
+from conftest import run_experiment
+
+
+def test_figure4_redundancy(benchmark, workbench):
+    result = run_experiment(benchmark, figure4_redundancy_pie, workbench)
+    assert result["experiment"]

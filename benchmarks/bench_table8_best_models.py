@@ -1,0 +1,14 @@
+"""Table 8: number of test relations on which each model is the most accurate.
+
+Regenerates the paper artefact from the shared workbench and reports the
+wall-clock cost of the experiment driver through pytest-benchmark.
+"""
+
+from repro.experiments import table8_best_model_counts
+
+from conftest import run_experiment
+
+
+def test_table8_best_models(benchmark, workbench):
+    result = run_experiment(benchmark, table8_best_model_counts, workbench)
+    assert result["experiment"]

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+A single session-scoped :class:`Workbench` backs every benchmark so that each
+(model, dataset) pair is trained once and every table/figure is regenerated
+from the same artefacts — mirroring how the paper's experiment suite reuses
+the same trained models across its tables.
+
+The scale and training budget are deliberately small (``tiny`` datasets, low
+dimension, few epochs) so the whole harness runs on a laptop CPU in a few
+minutes.  Absolute numbers are therefore far below the paper's GPU-scale
+values; EXPERIMENTS.md records the qualitative comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Workbench
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="tiny",
+        help="synthetic benchmark scale used by the reproduction harness (tiny/small/medium)",
+    )
+    parser.addoption(
+        "--repro-epochs",
+        action="store",
+        type=int,
+        default=25,
+        help="training epochs per (model, dataset) pair in the benchmark harness",
+    )
+
+
+@pytest.fixture(scope="session")
+def workbench(request) -> Workbench:
+    config = ExperimentConfig(
+        scale=request.config.getoption("--repro-scale"),
+        epochs=request.config.getoption("--repro-epochs"),
+        dim=16,
+        num_negatives=2,
+        seed=13,
+    )
+    return Workbench(config)
+
+
+def run_experiment(benchmark, driver, workbench):
+    """Benchmark one experiment driver and print the table it regenerates."""
+    result = benchmark.pedantic(driver, args=(workbench,), iterations=1, rounds=1)
+    print()
+    print(result["text"])
+    return result

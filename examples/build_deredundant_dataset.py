@@ -1,0 +1,55 @@
+"""Build de-redundant dataset variants and export them in the standard layout.
+
+Run with ``python examples/build_deredundant_dataset.py [output_dir]``.
+
+The paper argues FB15k, WN18 and YAGO3-10 should not be used anymore and that
+their de-redundant variants (FB15k-237, WN18RR, YAGO3-10-DR) should be used
+instead.  This example packages that recommendation as a pipeline: it builds
+the three raw replicas, applies the corresponding de-redundancy transforms,
+prints the before/after Table-1 statistics, and writes all six datasets as
+``train.txt`` / ``valid.txt`` / ``test.txt`` directories that any KG-embedding
+toolkit can consume.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core import (
+    analyse_leakage,
+    make_fb15k237_like,
+    make_wn18rr_like,
+    make_yago_dr_like,
+    render_table,
+)
+from repro.kg import dataset_statistics, fb15k_like, save_dataset, wn18_like, yago3_like
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("exported_datasets")
+
+    fb15k, _ = fb15k_like(scale="tiny", seed=13)
+    wn18 = wn18_like(scale="tiny", seed=16)
+    yago = yago3_like(scale="tiny", seed=21)
+
+    pairs = [
+        (fb15k, make_fb15k237_like(fb15k)),
+        (wn18, make_wn18rr_like(wn18)),
+        (yago, make_yago_dr_like(yago)),
+    ]
+
+    rows = []
+    for original, derived in pairs:
+        for dataset in (original, derived):
+            row = dataset_statistics(dataset).as_row()
+            row["test reverse-in-train %"] = 100 * analyse_leakage(dataset).test_reverse_in_train_share
+            rows.append(row)
+            save_dataset(dataset, output_dir / dataset.name)
+    print(render_table(rows, title="Raw replicas vs de-redundant variants"))
+    print(f"\nAll six datasets written under {output_dir.resolve()} in the "
+          "train.txt/valid.txt/test.txt TSV layout (plus metadata.json provenance).")
+
+
+if __name__ == "__main__":
+    main()

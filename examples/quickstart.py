@@ -1,0 +1,59 @@
+"""Quickstart: build a benchmark replica, train a model, evaluate it.
+
+Run with ``python examples/quickstart.py``.
+
+The script walks through the core workflow of the library:
+
+1. generate the FB15k-like synthetic benchmark (a structural replica of the
+   paper's FB15k, including its reverse relations and Cartesian products),
+2. train a TransE model on it with the shared trainer,
+3. evaluate link prediction with raw and filtered metrics,
+4. compare against the AMIE-style rule miner and the paper's simple
+   statistics-based rule model.
+"""
+
+from __future__ import annotations
+
+from repro.core import SimpleRuleModel, render_table
+from repro.eval import evaluate_model
+from repro.kg import dataset_statistics, fb15k_like
+from repro.models import ModelConfig, TrainingConfig, make_model, train_model
+from repro.rules import AmieConfig, AmieMiner, RuleBasedPredictor
+
+
+def main() -> None:
+    # 1. A scaled-down structural replica of FB15k (see DESIGN.md §2 for the
+    #    substitution rationale).
+    dataset, snapshot = fb15k_like(scale="tiny", seed=13)
+    print(render_table([dataset_statistics(dataset).as_row()], title="Dataset"))
+    print(f"Simulated Freebase snapshot: {len(snapshot.triples)} triples, "
+          f"{len(snapshot.reverse_property_pairs)} reverse_property pairs\n")
+
+    # 2. Train TransE.
+    model = make_model("TransE", dataset.num_entities, dataset.num_relations,
+                       ModelConfig(dim=24, seed=0))
+    result = train_model(model, dataset,
+                         TrainingConfig(epochs=40, batch_size=256, num_negatives=4,
+                                        learning_rate=0.05, verbose=True, log_every=20))
+    print(f"\nTrained {result.model_name} for {result.epochs_run} epochs "
+          f"in {result.seconds:.1f}s (final loss {result.final_loss:.4f})\n")
+
+    # 3. Link prediction evaluation (raw + filtered, both prediction sides).
+    evaluation = evaluate_model(model, dataset)
+    rows = [evaluation.as_row()]
+
+    # 4. The observed-feature baselines from the paper.
+    mined = AmieMiner(dataset.train, AmieConfig()).mine()
+    amie = RuleBasedPredictor(mined.rules, dataset.train, dataset.num_entities)
+    rows.append(evaluate_model(amie, dataset, model_name="AMIE").as_row())
+
+    simple = SimpleRuleModel(dataset.train, dataset.num_entities)
+    rows.append(evaluate_model(simple, dataset, model_name="SimpleModel").as_row())
+
+    print(render_table(rows, title="Link prediction on FB15k-like"))
+    print("\nNote how the statistics-based baselines rival the embedding model on "
+          "this redundancy-ridden benchmark — the paper's central observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so `pip install -e .` works in offline environments without the
+`wheel` package (legacy develop-mode install); configuration is in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Reverse-mode autodiff on numpy arrays (the training substrate)."""
+
+from .tensor import Parameter, Tensor
+from .functional import (
+    binary_cross_entropy_with_logits,
+    conv2d,
+    linear,
+    logsigmoid,
+    margin_ranking_loss,
+    numerical_gradient,
+    stack_rows,
+)
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "binary_cross_entropy_with_logits",
+    "conv2d",
+    "linear",
+    "logsigmoid",
+    "margin_ranking_loss",
+    "numerical_gradient",
+    "stack_rows",
+]

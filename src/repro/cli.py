@@ -1,0 +1,246 @@
+"""Command-line interface for the reproduction toolkit.
+
+Four subcommands cover the workflows a downstream user needs:
+
+``repro-kgc generate``
+    Build the six benchmark replicas and export them as TSV directories.
+``repro-kgc audit``
+    Run the paper's §4 redundancy / leakage / Cartesian audit on a dataset
+    (a generated replica by name, or any TSV dataset directory on disk).
+``repro-kgc train``
+    Train one embedding model on one dataset and report raw + filtered
+    link-prediction metrics.
+``repro-kgc experiment``
+    Regenerate one of the paper's tables or figures by its key (see
+    ``repro.experiments.EXPERIMENT_INDEX``), or ``all`` of them.
+
+The module is also importable: every subcommand is a plain function taking an
+``argparse.Namespace``, and :func:`main` accepts an argument list, which is
+what the test-suite uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import (
+    analyse_leakage,
+    analyse_redundancy,
+    category_distribution,
+    dataset_relation_categories,
+    find_cartesian_relations,
+    make_fb15k237_like,
+    make_wn18rr_like,
+    make_yago_dr_like,
+    render_key_values,
+    render_table,
+)
+from .eval import evaluate_model
+from .experiments import EXPERIMENT_INDEX, ExperimentConfig, Workbench
+from .kg import (
+    Dataset,
+    dataset_statistics,
+    fb15k_like,
+    load_dataset,
+    save_dataset,
+    wn18_like,
+    yago3_like,
+)
+from .models import ALL_EMBEDDING_MODELS, ModelConfig, TrainingConfig, make_model, train_model
+
+#: Names accepted by ``--dataset`` when not pointing at a directory.
+GENERATED_DATASETS = (
+    "fb15k",
+    "fb15k-237",
+    "wn18",
+    "wn18rr",
+    "yago3-10",
+    "yago3-10-dr",
+)
+
+
+def _build_named_dataset(name: str, scale: str, seed: int) -> Dataset:
+    lowered = name.lower()
+    if lowered in ("fb15k", "fb15k-237"):
+        dataset, _ = fb15k_like(scale, seed)
+        return make_fb15k237_like(dataset) if lowered == "fb15k-237" else dataset
+    if lowered in ("wn18", "wn18rr"):
+        dataset = wn18_like(scale, seed + 3)
+        return make_wn18rr_like(dataset) if lowered == "wn18rr" else dataset
+    if lowered in ("yago3-10", "yago3-10-dr"):
+        dataset = yago3_like(scale, seed + 7)
+        return make_yago_dr_like(dataset) if lowered == "yago3-10-dr" else dataset
+    raise SystemExit(
+        f"unknown dataset {name!r}: expected a directory or one of {', '.join(GENERATED_DATASETS)}"
+    )
+
+
+def _resolve_dataset(spec: str, scale: str, seed: int) -> Dataset:
+    path = Path(spec)
+    if path.is_dir():
+        return load_dataset(path)
+    return _build_named_dataset(spec, scale, seed)
+
+
+# ---------------------------------------------------------------------------- subcommands
+def command_generate(args: argparse.Namespace) -> int:
+    """Build the six replicas and write them under ``args.output``."""
+    output = Path(args.output)
+    fb15k, _ = fb15k_like(args.scale, args.seed)
+    wn18 = wn18_like(args.scale, args.seed + 3)
+    yago = yago3_like(args.scale, args.seed + 7)
+    datasets = [
+        fb15k,
+        make_fb15k237_like(fb15k),
+        wn18,
+        make_wn18rr_like(wn18),
+        yago,
+        make_yago_dr_like(yago),
+    ]
+    rows = []
+    for dataset in datasets:
+        save_dataset(dataset, output / dataset.name)
+        rows.append(dataset_statistics(dataset).as_row())
+    print(render_table(rows, title=f"Datasets written under {output}"))
+    return 0
+
+
+def command_audit(args: argparse.Namespace) -> int:
+    """Run the §4 redundancy audit on one dataset."""
+    dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
+    all_triples = dataset.all_triples()
+    print(render_table([dataset_statistics(dataset).as_row()], title=f"Audit of {dataset.name}"))
+
+    redundancy = analyse_redundancy(all_triples, args.theta, args.theta)
+    leakage = analyse_leakage(dataset, redundancy)
+    cartesian = find_cartesian_relations(all_triples, density_threshold=args.theta)
+    print()
+    print(render_key_values(
+        {
+            "reverse relation pairs": len(redundancy.reverse_pairs),
+            "duplicate relation pairs": len(redundancy.duplicate_pairs),
+            "reverse-duplicate relation pairs": len(redundancy.reverse_duplicate_pairs),
+            "symmetric relations": len(redundancy.symmetric_relations),
+            "Cartesian product relations": len(cartesian),
+            "train triples in reverse pairs": leakage.training_reverse_share,
+            "test triples with reverse in train": leakage.test_reverse_in_train_share,
+            "test triples with any redundancy": leakage.test_redundant_share,
+        },
+        title=f"Redundancy summary (theta = {args.theta})",
+    ))
+    print()
+    breakdown = [{"case": case, "share %": share} for case, share in leakage.bitmap_breakdown().items()]
+    print(render_table(breakdown, title="Test-set redundancy bitmap (Figure 4 style)"))
+    print()
+    print(render_key_values(
+        category_distribution(dataset_relation_categories(dataset)),
+        title="Test-relation cardinality categories",
+    ))
+    return 0
+
+
+def command_train(args: argparse.Namespace) -> int:
+    """Train one model on one dataset and print its evaluation row."""
+    dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
+    extra = {"embedding_height": 4} if args.model == "ConvE" else {}
+    model = make_model(
+        args.model,
+        dataset.num_entities,
+        dataset.num_relations,
+        ModelConfig(dim=args.dim, seed=args.seed, extra=extra),
+    )
+    result = train_model(
+        model,
+        dataset,
+        TrainingConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            num_negatives=args.negatives,
+            seed=args.seed,
+            verbose=not args.quiet,
+        ),
+    )
+    print(f"trained {result.model_name} on {result.dataset_name}: "
+          f"{result.epochs_run} epochs, final loss {result.final_loss:.4f}, {result.seconds:.1f}s")
+    evaluation = evaluate_model(model, dataset, model_name=args.model)
+    print(render_table([evaluation.as_row()], title="Link prediction"))
+    return 0
+
+
+def command_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one (or all) of the paper's tables / figures."""
+    keys = list(EXPERIMENT_INDEX) if args.name == "all" else [args.name]
+    unknown = [key for key in keys if key not in EXPERIMENT_INDEX]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment {unknown[0]!r}; available: {', '.join(EXPERIMENT_INDEX)}, all"
+        )
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, dim=args.dim, epochs=args.epochs
+    )
+    workbench = Workbench(config)
+    for key in keys:
+        result = EXPERIMENT_INDEX[key](workbench)
+        print(result["text"])
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kgc",
+        description="Realistic re-evaluation of knowledge graph completion methods (SIGMOD 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", default="tiny", help="synthetic benchmark scale (tiny/small/medium)")
+        sub.add_argument("--seed", type=int, default=13, help="random seed")
+
+    generate = subparsers.add_parser("generate", help="build and export the six benchmark replicas")
+    add_common(generate)
+    generate.add_argument("--output", default="exported_datasets", help="output directory")
+    generate.set_defaults(handler=command_generate)
+
+    audit = subparsers.add_parser("audit", help="run the paper's redundancy audit on a dataset")
+    add_common(audit)
+    audit.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
+    audit.add_argument("--theta", type=float, default=0.8, help="overlap / density threshold")
+    audit.set_defaults(handler=command_audit)
+
+    train = subparsers.add_parser("train", help="train and evaluate one embedding model")
+    add_common(train)
+    train.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
+    train.add_argument("--model", default="TransE", choices=ALL_EMBEDDING_MODELS)
+    train.add_argument("--dim", type=int, default=24)
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument("--learning-rate", type=float, default=0.05)
+    train.add_argument("--negatives", type=int, default=4)
+    train.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
+    train.set_defaults(handler=command_train)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
+    add_common(experiment)
+    experiment.add_argument("name", help=f"experiment key ({', '.join(EXPERIMENT_INDEX)}) or 'all'")
+    experiment.add_argument("--dim", type=int, default=16)
+    experiment.add_argument("--epochs", type=int, default=25)
+    experiment.set_defaults(handler=command_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through the console script
+    sys.exit(main())

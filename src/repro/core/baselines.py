@@ -1,0 +1,126 @@
+"""The paper's "simple model": rule-of-thumb prediction from data statistics.
+
+Section 4.2.1: *"one may aim at deriving simple rules of the form
+(h, r1, t) ⇒ (t, r2, h) using statistics about the triples in the dataset …
+We generated a similar model by finding the relations that have more than 80 %
+intersections."*  The resulting model attains FHits@1 of 71.6 % on FB15k and
+96.4 % on WN18 — on par with the best embedding models — and collapses on the
+de-redundant variants (Table 13's "Simple Model" row).
+
+:class:`SimpleRuleModel` implements exactly that baseline: it finds relation
+pairs whose pair sets intersect by more than the threshold (in the same
+direction → duplicate rule, reversed → reverse rule, a relation with itself
+reversed → symmetric rule) on the training set, and answers a query
+``(h, r, ?)`` with the entities connected to ``h`` through any paired
+relation.  It exposes the evaluator's scorer interface.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..kg.triples import TripleSet
+
+#: The intersection threshold quoted in the paper ("more than 80%").
+DEFAULT_INTERSECTION_THRESHOLD = 0.8
+
+
+@dataclass
+class SimpleRulePair:
+    """One detected rule ``(h, r_source, t) ⇒ (t, r_target, h)`` or its same-direction variant."""
+
+    source: int
+    target: int
+    reversed: bool
+    intersection_share: float
+
+
+@dataclass
+class SimpleRuleModel:
+    """The statistics-derived rule baseline of Sections 1 and 4.2.1."""
+
+    train: TripleSet
+    num_entities: int
+    threshold: float = DEFAULT_INTERSECTION_THRESHOLD
+    rules: List[SimpleRulePair] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._outgoing: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._incoming: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        for h, r, t in self.train:
+            self._outgoing[(r, h)].add(t)
+            self._incoming[(r, t)].add(h)
+        self.rules = self._find_rules()
+        self._rules_by_target: Dict[int, List[SimpleRulePair]] = defaultdict(list)
+        for rule in self.rules:
+            self._rules_by_target[rule.target].append(rule)
+
+    # -- rule discovery --------------------------------------------------------------
+    def _find_rules(self) -> List[SimpleRulePair]:
+        relations = self.train.relations
+        pair_sets = {r: self.train.pairs_of(r) for r in relations}
+        reversed_sets = {r: {(t, h) for h, t in pairs} for r, pairs in pair_sets.items()}
+        rules: List[SimpleRulePair] = []
+        for target in relations:
+            target_pairs = pair_sets[target]
+            if not target_pairs:
+                continue
+            for source in relations:
+                source_pairs = pair_sets[source]
+                if not source_pairs:
+                    continue
+                if source != target:
+                    same_share = len(target_pairs & source_pairs) / len(target_pairs)
+                    if same_share > self.threshold:
+                        rules.append(SimpleRulePair(source, target, False, same_share))
+                reverse_share = len(target_pairs & reversed_sets[source]) / len(target_pairs)
+                if reverse_share > self.threshold:
+                    rules.append(SimpleRulePair(source, target, True, reverse_share))
+        return rules
+
+    # -- prediction -------------------------------------------------------------------
+    def predicted_tails(self, head: int, relation: int) -> Set[int]:
+        """Entities predicted as tails of ``(head, relation, ?)`` by the rules."""
+        predictions: Set[int] = set()
+        for rule in self._rules_by_target.get(relation, ()):
+            if rule.reversed:
+                predictions |= self._incoming.get((rule.source, head), set())
+            else:
+                predictions |= self._outgoing.get((rule.source, head), set())
+        return predictions
+
+    def predicted_heads(self, relation: int, tail: int) -> Set[int]:
+        """Entities predicted as heads of ``(?, relation, tail)`` by the rules."""
+        predictions: Set[int] = set()
+        for rule in self._rules_by_target.get(relation, ()):
+            if rule.reversed:
+                predictions |= self._outgoing.get((rule.source, tail), set())
+            else:
+                predictions |= self._incoming.get((rule.source, tail), set())
+        return predictions
+
+    # -- scorer interface for the shared evaluator ----------------------------------------
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        scores = np.zeros(self.num_entities)
+        predictions = self.predicted_tails(head, relation)
+        if predictions:
+            scores[list(predictions)] = 1.0
+        return scores
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
+        scores = np.zeros(self.num_entities)
+        predictions = self.predicted_heads(relation, tail)
+        if predictions:
+            scores[list(predictions)] = 1.0
+        return scores
+
+    @property
+    def name(self) -> str:
+        return "SimpleModel"
+
+    def num_rules(self) -> int:
+        return len(self.rules)

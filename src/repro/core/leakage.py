@@ -1,0 +1,194 @@
+"""Test-set leakage analysis (Sections 4.2.1 and 4.2.2, Figure 4).
+
+For every test triple the analysis determines whether redundant counterparts
+exist in the training set or elsewhere in the test set:
+
+* a **reverse** counterpart ``(t, r', h)`` where r' is a reverse (or the same,
+  symmetric) relation of r,
+* a **duplicate / reverse-duplicate** counterpart through a relation detected
+  as (reverse-)duplicate of r.
+
+The four indicator bits are packed into the same bitmap encoding the paper
+uses for Figure 4 (``1000`` = reverse counterpart in the training set only,
+``0000`` = no redundancy, ...), and summary statistics reproduce the §4.2.1
+headline numbers (share of training triples forming reverse pairs, share of
+test triples whose reverse is in training, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..kg.dataset import Dataset
+from ..kg.triples import Triple, TripleSet
+from .redundancy import RedundancyReport, analyse_redundancy
+
+
+@dataclass
+class TripleRedundancy:
+    """The four leakage indicator bits of one test triple."""
+
+    triple: Triple
+    reverse_in_train: bool = False
+    duplicate_in_train: bool = False
+    reverse_in_test: bool = False
+    duplicate_in_test: bool = False
+
+    @property
+    def bitmap(self) -> str:
+        """Paper's Figure-4 encoding, e.g. ``"1000"`` or ``"0000"``."""
+        bits = (
+            self.reverse_in_train,
+            self.duplicate_in_train,
+            self.reverse_in_test,
+            self.duplicate_in_test,
+        )
+        return "".join("1" if bit else "0" for bit in bits)
+
+    @property
+    def has_any_redundancy(self) -> bool:
+        return self.bitmap != "0000"
+
+    @property
+    def redundant_in_train(self) -> bool:
+        return self.reverse_in_train or self.duplicate_in_train
+
+
+@dataclass
+class LeakageReport:
+    """Leakage analysis of one dataset."""
+
+    dataset_name: str
+    per_triple: List[TripleRedundancy] = field(default_factory=list)
+    training_reverse_triples: int = 0
+    training_total: int = 0
+    redundancy: Optional[RedundancyReport] = None
+
+    # -- headline statistics (§4.2.1) -----------------------------------------------
+    @property
+    def training_reverse_share(self) -> float:
+        """Share of training triples that form reverse pairs (FB15k ≈ 0.70, WN18 ≈ 0.925)."""
+        return self.training_reverse_triples / self.training_total if self.training_total else 0.0
+
+    @property
+    def test_reverse_in_train_share(self) -> float:
+        """Share of test triples whose reverse triple exists in training (≈ 0.70 / 0.93)."""
+        if not self.per_triple:
+            return 0.0
+        return sum(1 for item in self.per_triple if item.reverse_in_train) / len(self.per_triple)
+
+    @property
+    def test_redundant_share(self) -> float:
+        """Share of test triples with any redundancy counterpart."""
+        if not self.per_triple:
+            return 0.0
+        return sum(1 for item in self.per_triple if item.has_any_redundancy) / len(self.per_triple)
+
+    # -- Figure 4 -----------------------------------------------------------------------
+    def bitmap_breakdown(self) -> Dict[str, float]:
+        """Percentage of test triples per bitmap case (the Figure 4 pie chart)."""
+        counts: Dict[str, int] = {}
+        for item in self.per_triple:
+            counts[item.bitmap] = counts.get(item.bitmap, 0) + 1
+        total = max(1, len(self.per_triple))
+        return {bitmap: 100.0 * count / total for bitmap, count in sorted(
+            counts.items(), key=lambda entry: entry[1], reverse=True
+        )}
+
+    # -- slicing helpers used by the experiment drivers ----------------------------------
+    def redundant_test_triples(self) -> Set[Triple]:
+        """Test triples with redundant counterparts in the *training* set (Table 7)."""
+        return {item.triple for item in self.per_triple if item.redundant_in_train}
+
+    def clean_test_triples(self) -> Set[Triple]:
+        """Test triples without any redundancy (the ``0000`` slice)."""
+        return {item.triple for item in self.per_triple if not item.has_any_redundancy}
+
+
+def _reverse_exists(
+    triple: Triple,
+    reverse_partners: Dict[int, Set[int]],
+    lookup: TripleSet,
+    exclude_self: bool,
+) -> bool:
+    """Does a reverse counterpart of ``triple`` exist in ``lookup``?"""
+    h, r, t = triple
+    for partner in reverse_partners.get(r, ()):
+        candidate = (t, partner, h)
+        if candidate == triple and exclude_self:
+            continue
+        if candidate in lookup:
+            return True
+    return False
+
+
+def _duplicate_exists(
+    triple: Triple,
+    duplicate_partners: Dict[int, Set[int]],
+    reverse_duplicate_partners: Dict[int, Set[int]],
+    lookup: TripleSet,
+) -> bool:
+    """Does a duplicate or reverse-duplicate counterpart of ``triple`` exist in ``lookup``?"""
+    h, r, t = triple
+    for partner in duplicate_partners.get(r, ()):
+        if partner != r and (h, partner, t) in lookup:
+            return True
+    for partner in reverse_duplicate_partners.get(r, ()):
+        if (t, partner, h) in lookup and (partner != r or h != t):
+            return True
+    return False
+
+
+def analyse_leakage(
+    dataset: Dataset,
+    redundancy: Optional[RedundancyReport] = None,
+    theta_1: float = 0.8,
+    theta_2: float = 0.8,
+) -> LeakageReport:
+    """Run the full leakage analysis of a dataset's test split.
+
+    ``redundancy`` may be passed in when already computed; by default the
+    relation-level detection runs over *all* splits, which plays the role of
+    the Freebase ``reverse_property`` oracle the paper uses — relation-level
+    semantics do not depend on the train/test split, only the per-triple
+    leakage bits below do.
+    """
+    train = dataset.train
+    test = dataset.test
+    if redundancy is None:
+        redundancy = analyse_redundancy(dataset.all_triples(), theta_1, theta_2)
+
+    reverse_partners = redundancy.reverse_partners()
+    duplicate_partners = redundancy.duplicate_partners()
+    # The duplicate bit tracks only the *looser* reverse duplicates; crisp
+    # reverse pairs (the reverse_property-style ones) count solely toward the
+    # reverse bit, as in the paper's Figure-4 categorization.
+    reverse_duplicate_partners: Dict[int, Set[int]] = {}
+    for overlap in redundancy.reverse_duplicate_pairs:
+        reverse_duplicate_partners.setdefault(overlap.relation_a, set()).add(overlap.relation_b)
+        reverse_duplicate_partners.setdefault(overlap.relation_b, set()).add(overlap.relation_a)
+
+    report = LeakageReport(dataset_name=dataset.name, redundancy=redundancy)
+
+    # -- training-set reverse pairs (the 70 % / 92.5 % statistic) ----------------------
+    report.training_total = len(train)
+    reverse_count = 0
+    for h, r, t in train:
+        if _reverse_exists((h, r, t), reverse_partners, train, exclude_self=True):
+            reverse_count += 1
+    report.training_reverse_triples = reverse_count
+
+    # -- per test triple bitmaps ----------------------------------------------------------
+    for triple in test:
+        item = TripleRedundancy(triple=triple)
+        item.reverse_in_train = _reverse_exists(triple, reverse_partners, train, exclude_self=False)
+        item.duplicate_in_train = _duplicate_exists(
+            triple, duplicate_partners, reverse_duplicate_partners, train
+        )
+        item.reverse_in_test = _reverse_exists(triple, reverse_partners, test, exclude_self=True)
+        item.duplicate_in_test = _duplicate_exists(
+            triple, duplicate_partners, reverse_duplicate_partners, test
+        )
+        report.per_triple.append(item)
+    return report

@@ -1,0 +1,41 @@
+"""Link-prediction evaluation: ranking protocol, metrics, cross-model analyses."""
+
+from .metrics import (
+    METRIC_DIRECTIONS,
+    MetricPair,
+    RankingMetrics,
+    better_of,
+    metrics_from_rank_pairs,
+)
+from .ranking import (
+    CandidateScorer,
+    EvaluationResult,
+    LinkPredictionEvaluator,
+    RankRecord,
+    evaluate_model,
+)
+from .comparison import (
+    best_model_counts,
+    category_best_model_breakdown,
+    category_side_hits,
+    outperformance_redundancy_share,
+    per_relation_win_percentages,
+)
+
+__all__ = [
+    "RankingMetrics",
+    "MetricPair",
+    "METRIC_DIRECTIONS",
+    "better_of",
+    "metrics_from_rank_pairs",
+    "CandidateScorer",
+    "RankRecord",
+    "EvaluationResult",
+    "LinkPredictionEvaluator",
+    "evaluate_model",
+    "best_model_counts",
+    "per_relation_win_percentages",
+    "outperformance_redundancy_share",
+    "category_best_model_breakdown",
+    "category_side_hits",
+]

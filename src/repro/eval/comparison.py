@@ -1,0 +1,217 @@
+"""Cross-model comparison analyses used by Tables 7-10/12 and Figures 5-8.
+
+All functions take the per-model :class:`~repro.eval.ranking.EvaluationResult`
+objects produced by the shared evaluator, so the same trained models feed the
+headline tables and every break-down without re-ranking anything.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..kg.triples import Triple
+from .metrics import MetricPair, RankingMetrics, better_of
+from .ranking import EvaluationResult, RankRecord
+
+
+def _metric_value(pair: MetricPair, metric: str) -> float:
+    """Extract one named measure (e.g. ``"FMRR"`` or ``"Hits@10"``) from a pair."""
+    values = pair.as_dict()
+    if metric not in values:
+        raise KeyError(f"unknown metric {metric!r}; available: {sorted(values)}")
+    return values[metric]
+
+
+def best_model_counts(
+    results: Mapping[str, EvaluationResult],
+    metrics: Sequence[str] = ("FMR", "FHits@10", "FHits@1", "FMRR"),
+    rounding: int = 2,
+) -> Dict[str, Dict[str, int]]:
+    """Table 8: per metric, how many test relations each model wins.
+
+    Ties are counted for every tied model, as the paper does (its footnote 9
+    notes column sums can exceed the number of relations).  ``rounding``
+    mimics the paper's rounding before comparison (two decimals for most
+    measures, three for MRR).
+    """
+    per_relation: Dict[str, Dict[int, MetricPair]] = {
+        model: result.metrics_by_relation() for model, result in results.items()
+    }
+    relations: Set[int] = set()
+    for by_relation in per_relation.values():
+        relations |= set(by_relation)
+
+    counts: Dict[str, Dict[str, int]] = {
+        metric: {model: 0 for model in results} for metric in metrics
+    }
+    for metric in metrics:
+        decimals = 3 if "MRR" in metric else rounding
+        for relation in relations:
+            values: Dict[str, float] = {}
+            for model, by_relation in per_relation.items():
+                if relation in by_relation:
+                    values[model] = round(_metric_value(by_relation[relation], metric), decimals)
+            if not values:
+                continue
+            best_value: Optional[float] = None
+            for value in values.values():
+                if best_value is None or better_of(metric, value, best_value) < 0:
+                    best_value = value
+            for model, value in values.items():
+                if value == best_value:
+                    counts[metric][model] += 1
+    return counts
+
+
+def per_relation_win_percentages(
+    results: Mapping[str, EvaluationResult],
+) -> Dict[int, Dict[str, float]]:
+    """Figures 5 and 6: per relation, the % of test triples each model ranks best.
+
+    A model "wins" a (triple, side) record when its filtered rank is the
+    minimum among all models; ties award the win to every tied model.
+    """
+    indexed: Dict[str, Dict[Tuple[Triple, str], RankRecord]] = {
+        model: result.records_by_triple() for model, result in results.items()
+    }
+    all_keys: Set[Tuple[Triple, str]] = set()
+    for records in indexed.values():
+        all_keys |= set(records)
+
+    wins: Dict[int, Dict[str, int]] = defaultdict(lambda: {model: 0 for model in results})
+    totals: Dict[int, int] = defaultdict(int)
+    for key in all_keys:
+        relation = key[0][1]
+        ranks = {
+            model: records[key].filtered_rank
+            for model, records in indexed.items()
+            if key in records
+        }
+        if not ranks:
+            continue
+        totals[relation] += 1
+        best = min(ranks.values())
+        for model, rank in ranks.items():
+            if rank == best:
+                wins[relation][model] += 1
+
+    return {
+        relation: {
+            model: 100.0 * count / totals[relation] for model, count in model_wins.items()
+        }
+        for relation, model_wins in wins.items()
+    }
+
+
+def outperformance_redundancy_share(
+    results: Mapping[str, EvaluationResult],
+    baseline: str,
+    redundant_triples: Set[Triple],
+    metrics: Sequence[str] = ("FMR", "FHits@10", "FHits@1", "FMRR"),
+) -> Dict[str, Dict[str, float]]:
+    """Table 7: among test triples where a model beats the baseline, the share
+    that has reverse or duplicate triples in the training set.
+
+    A model "beats" the baseline on a (triple, side) record when its filtered
+    rank is strictly smaller.  The paper reports the share separately per
+    metric; for the rank-derived metrics the comparison reduces to the same
+    per-triple rank comparison, so the per-metric variation comes from which
+    records count as an improvement under that metric (e.g. only records
+    entering the top 10 matter for FHits@10).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline model {baseline!r} missing from results")
+    baseline_records = results[baseline].records_by_triple()
+
+    def improves(metric: str, candidate: RankRecord, reference: RankRecord) -> bool:
+        if metric in ("FMR", "FMRR"):
+            return candidate.filtered_rank < reference.filtered_rank
+        if metric == "FHits@10":
+            return candidate.filtered_rank <= 10 < reference.filtered_rank
+        if metric == "FHits@1":
+            return candidate.filtered_rank <= 1 < reference.filtered_rank
+        raise KeyError(f"unsupported metric for Table 7: {metric!r}")
+
+    shares: Dict[str, Dict[str, float]] = {}
+    for model, result in results.items():
+        if model == baseline:
+            continue
+        model_records = result.records_by_triple()
+        shares[model] = {}
+        for metric in metrics:
+            improved: List[RankRecord] = []
+            for key, record in model_records.items():
+                reference = baseline_records.get(key)
+                if reference is not None and improves(metric, record, reference):
+                    improved.append(record)
+            if not improved:
+                shares[model][metric] = float("nan")
+                continue
+            redundant = sum(1 for record in improved if record.triple in redundant_triples)
+            shares[model][metric] = 100.0 * redundant / len(improved)
+    return shares
+
+
+def category_best_model_breakdown(
+    results: Mapping[str, EvaluationResult],
+    relation_categories: Mapping[int, str],
+    metric: str = "FMRR",
+) -> Dict[str, Dict[str, int]]:
+    """Figures 7a and 8a: per model, how many best-relation wins fall in each category."""
+    per_relation: Dict[str, Dict[int, MetricPair]] = {
+        model: result.metrics_by_relation() for model, result in results.items()
+    }
+    relations: Set[int] = set()
+    for by_relation in per_relation.values():
+        relations |= set(by_relation)
+
+    breakdown: Dict[str, Dict[str, int]] = {
+        model: defaultdict(int) for model in results
+    }
+    for relation in relations:
+        values = {
+            model: _metric_value(by_relation[relation], metric)
+            for model, by_relation in per_relation.items()
+            if relation in by_relation
+        }
+        if not values:
+            continue
+        best_value: Optional[float] = None
+        for value in values.values():
+            if best_value is None or better_of(metric, value, best_value) < 0:
+                best_value = value
+        category = relation_categories.get(relation, "n-m")
+        for model, value in values.items():
+            if value == best_value:
+                breakdown[model][category] += 1
+    return {model: dict(categories) for model, categories in breakdown.items()}
+
+
+def category_side_hits(
+    results: Mapping[str, EvaluationResult],
+    relation_categories: Mapping[int, str],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Tables 9, 10 and 12: FHits@10 per relation category, separately per side.
+
+    Returns ``{model: {category: {"head": FHits@10, "tail": FHits@10}}}``.
+    Following the paper's table layout, "Left" corresponds to predicting the
+    head and "Right" to predicting the tail.
+    """
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model, result in results.items():
+        table[model] = {}
+        for category in sorted(set(relation_categories.values())):
+            in_category = lambda record, category=category: (
+                relation_categories.get(record.relation, "n-m") == category
+            )
+            per_side: Dict[str, float] = {}
+            for side in ("head", "tail"):
+                ranks = [
+                    record.filtered_rank
+                    for record in result.records
+                    if record.side == side and in_category(record)
+                ]
+                per_side[side] = 100.0 * RankingMetrics.from_ranks(ranks).hits_at_10 if ranks else float("nan")
+            table[model][category] = per_side
+    return table

@@ -1,0 +1,105 @@
+"""Accuracy measures of the link-prediction protocol (Section 3.2).
+
+The paper reports Mean Rank (MR↓), Mean Reciprocal Rank (MRR↑), Hits@1↑ and
+Hits@10↑, each in a *raw* and a *filtered* variant (F-prefixed).  These are
+aggregations over the per-triple, per-side ranks produced by
+:mod:`repro.eval.ranking`; this module holds the aggregation only, so the same
+code serves whole-dataset rows (Tables 5/6/11), per-relation break-downs
+(Table 8, Figures 5-8) and per-category break-downs (Tables 9/10/12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """MR / MRR / Hits@k over a collection of ranks."""
+
+    count: int
+    mean_rank: float
+    mean_reciprocal_rank: float
+    hits_at_1: float
+    hits_at_3: float
+    hits_at_10: float
+
+    @classmethod
+    def from_ranks(cls, ranks: Sequence[float]) -> "RankingMetrics":
+        """Aggregate a list of (1-based) ranks into the paper's measures."""
+        ranks = list(ranks)
+        if not ranks:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        count = len(ranks)
+        mean_rank = sum(ranks) / count
+        mrr = sum(1.0 / rank for rank in ranks) / count
+        hits1 = sum(1 for rank in ranks if rank <= 1) / count
+        hits3 = sum(1 for rank in ranks if rank <= 3) / count
+        hits10 = sum(1 for rank in ranks if rank <= 10) / count
+        return cls(count, mean_rank, mrr, hits1, hits3, hits10)
+
+    # -- presentation -----------------------------------------------------------
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flat dictionary with the paper's abbreviations (percentages for hits)."""
+        return {
+            f"{prefix}MR": self.mean_rank,
+            f"{prefix}MRR": self.mean_reciprocal_rank,
+            f"{prefix}Hits@1": 100.0 * self.hits_at_1,
+            f"{prefix}Hits@3": 100.0 * self.hits_at_3,
+            f"{prefix}Hits@10": 100.0 * self.hits_at_10,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MR={self.mean_rank:.1f} MRR={self.mean_reciprocal_rank:.3f} "
+            f"H@1={100 * self.hits_at_1:.1f} H@10={100 * self.hits_at_10:.1f} (n={self.count})"
+        )
+
+
+@dataclass(frozen=True)
+class MetricPair:
+    """Raw and filtered metrics of the same rank collection."""
+
+    raw: RankingMetrics
+    filtered: RankingMetrics
+
+    def as_dict(self) -> Dict[str, float]:
+        row = self.raw.as_dict()
+        row.update(self.filtered.as_dict(prefix="F"))
+        return row
+
+
+def metrics_from_rank_pairs(
+    raw_ranks: Iterable[float], filtered_ranks: Iterable[float]
+) -> MetricPair:
+    """Bundle raw and filtered rank collections into a :class:`MetricPair`."""
+    return MetricPair(
+        raw=RankingMetrics.from_ranks(list(raw_ranks)),
+        filtered=RankingMetrics.from_ranks(list(filtered_ranks)),
+    )
+
+
+#: Which direction is better for each reported measure (↑ greater-is-better).
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "MR": "down",
+    "MRR": "up",
+    "Hits@1": "up",
+    "Hits@3": "up",
+    "Hits@10": "up",
+    "FMR": "down",
+    "FMRR": "up",
+    "FHits@1": "up",
+    "FHits@3": "up",
+    "FHits@10": "up",
+}
+
+
+def better_of(metric: str, first: float, second: float) -> int:
+    """Return -1 / 0 / +1 if ``first`` is better / tied / worse than ``second``."""
+    direction = METRIC_DIRECTIONS.get(metric, "up")
+    if first == second:
+        return 0
+    if direction == "up":
+        return -1 if first > second else 1
+    return -1 if first < second else 1

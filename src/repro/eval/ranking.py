@@ -1,0 +1,191 @@
+"""The link-prediction ranking protocol (Section 3.2 of the paper).
+
+For every test triple ``(h, r, t)`` the evaluator ranks ``t`` against every
+entity as a candidate tail of ``(h, r, ?)`` and ``h`` against every entity as
+a candidate head of ``(?, r, t)``.  Two ranks are produced per side:
+
+* the **raw** rank over all candidates, and
+* the **filtered** rank, where candidates that are known positive triples
+  (in train, valid or test — or in an *alternate ground truth* such as the
+  simulated Freebase snapshot for Table 3) are removed before ranking.
+
+Ties are resolved with the *mean* convention (the true triple is placed in
+the middle of the candidates sharing its score).  This matters for the
+rule-based and Cartesian-product predictors, which assign identical scores to
+many candidates; optimistic tie-breaking would inflate their accuracy and
+pessimistic tie-breaking would unfairly punish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..kg.dataset import Dataset
+from ..kg.triples import Triple, TripleSet
+from .metrics import MetricPair, RankingMetrics, metrics_from_rank_pairs
+
+
+class CandidateScorer(Protocol):
+    """What the evaluator needs from a model (embedding, rule-based or baseline)."""
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray: ...
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class RankRecord:
+    """The ranks of one test triple on one prediction side."""
+
+    head: int
+    relation: int
+    tail: int
+    side: str                  # "head" or "tail"
+    raw_rank: float
+    filtered_rank: float
+
+    @property
+    def triple(self) -> Triple:
+        return (self.head, self.relation, self.tail)
+
+
+@dataclass
+class EvaluationResult:
+    """All rank records of one (model, dataset) evaluation plus aggregations."""
+
+    model_name: str
+    dataset_name: str
+    records: List[RankRecord] = field(default_factory=list)
+
+    # -- aggregation -------------------------------------------------------------
+    def metrics(self) -> MetricPair:
+        return metrics_from_rank_pairs(
+            (record.raw_rank for record in self.records),
+            (record.filtered_rank for record in self.records),
+        )
+
+    def filtered_metrics(self) -> RankingMetrics:
+        return RankingMetrics.from_ranks([record.filtered_rank for record in self.records])
+
+    def raw_metrics(self) -> RankingMetrics:
+        return RankingMetrics.from_ranks([record.raw_rank for record in self.records])
+
+    def metrics_for(self, predicate) -> MetricPair:
+        """Metrics restricted to the records satisfying ``predicate(record)``."""
+        selected = [record for record in self.records if predicate(record)]
+        return metrics_from_rank_pairs(
+            (record.raw_rank for record in selected),
+            (record.filtered_rank for record in selected),
+        )
+
+    def metrics_by_relation(self) -> Dict[int, MetricPair]:
+        """Per-relation metric pairs (used by Table 8 and Figures 5-8)."""
+        by_relation: Dict[int, List[RankRecord]] = {}
+        for record in self.records:
+            by_relation.setdefault(record.relation, []).append(record)
+        return {
+            relation: metrics_from_rank_pairs(
+                (record.raw_rank for record in records),
+                (record.filtered_rank for record in records),
+            )
+            for relation, records in by_relation.items()
+        }
+
+    def metrics_by_side(self) -> Dict[str, MetricPair]:
+        """Separate head-prediction and tail-prediction metrics (Tables 9/10/12)."""
+        return {
+            side: self.metrics_for(lambda record, side=side: record.side == side)
+            for side in ("head", "tail")
+        }
+
+    def records_by_triple(self) -> Dict[Tuple[Triple, str], RankRecord]:
+        """Index records by (triple, side) for cross-model comparisons (Table 7)."""
+        return {(record.triple, record.side): record for record in self.records}
+
+    def as_row(self) -> Dict[str, float]:
+        """One row of a paper table: raw and filtered measures side by side."""
+        row: Dict[str, float] = {"model": self.model_name, "dataset": self.dataset_name}
+        row.update(self.metrics().as_dict())
+        return row
+
+
+def _rank_with_mean_ties(scores: np.ndarray, target_index: int, mask: np.ndarray) -> float:
+    """1-based rank of ``target_index`` among candidates where ``mask`` is True."""
+    target_score = scores[target_index]
+    considered = scores[mask]
+    higher = float(np.sum(considered > target_score))
+    tied = float(np.sum(considered == target_score))
+    # The target itself is always inside ``considered`` — exclude it from the tie count.
+    tied_others = max(tied - 1.0, 0.0)
+    return 1.0 + higher + tied_others / 2.0
+
+
+class LinkPredictionEvaluator:
+    """Runs the ranking protocol for any scorer on a dataset's test split."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        filter_triples: Optional[Iterable[Triple]] = None,
+        extra_ground_truth: Optional[TripleSet] = None,
+    ) -> None:
+        self.dataset = dataset
+        known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
+        if extra_ground_truth is not None:
+            known |= extra_ground_truth.as_set()
+        self._known_tails: Dict[Tuple[int, int], Set[int]] = {}
+        self._known_heads: Dict[Tuple[int, int], Set[int]] = {}
+        for h, r, t in known:
+            self._known_tails.setdefault((h, r), set()).add(t)
+            self._known_heads.setdefault((r, t), set()).add(h)
+
+    # -- evaluation ----------------------------------------------------------------
+    def evaluate(
+        self,
+        scorer: CandidateScorer,
+        test_triples: Optional[Sequence[Triple]] = None,
+        model_name: Optional[str] = None,
+        sides: Tuple[str, ...] = ("head", "tail"),
+    ) -> EvaluationResult:
+        """Rank every test triple on the requested sides."""
+        triples = list(test_triples) if test_triples is not None else list(self.dataset.test)
+        name = model_name or getattr(scorer, "name", type(scorer).__name__)
+        result = EvaluationResult(model_name=name, dataset_name=self.dataset.name)
+        num_entities = self.dataset.num_entities
+        all_candidates = np.ones(num_entities, dtype=bool)
+
+        for h, r, t in triples:
+            if "tail" in sides:
+                scores = np.asarray(scorer.score_all_tails(h, r), dtype=np.float64)
+                raw = _rank_with_mean_ties(scores, t, all_candidates)
+                mask = all_candidates.copy()
+                for known_tail in self._known_tails.get((h, r), ()):
+                    if known_tail != t:
+                        mask[known_tail] = False
+                filtered = _rank_with_mean_ties(scores, t, mask)
+                result.records.append(RankRecord(h, r, t, "tail", raw, filtered))
+            if "head" in sides:
+                scores = np.asarray(scorer.score_all_heads(r, t), dtype=np.float64)
+                raw = _rank_with_mean_ties(scores, h, all_candidates)
+                mask = all_candidates.copy()
+                for known_head in self._known_heads.get((r, t), ()):
+                    if known_head != h:
+                        mask[known_head] = False
+                filtered = _rank_with_mean_ties(scores, h, mask)
+                result.records.append(RankRecord(h, r, t, "head", raw, filtered))
+        return result
+
+
+def evaluate_model(
+    scorer: CandidateScorer,
+    dataset: Dataset,
+    test_triples: Optional[Sequence[Triple]] = None,
+    extra_ground_truth: Optional[TripleSet] = None,
+    model_name: Optional[str] = None,
+) -> EvaluationResult:
+    """Convenience wrapper constructing the evaluator with default filtering."""
+    evaluator = LinkPredictionEvaluator(dataset, extra_ground_truth=extra_ground_truth)
+    return evaluator.evaluate(scorer, test_triples=test_triples, model_name=model_name)

@@ -1,0 +1,436 @@
+"""A simulated Freebase snapshot and the FB15k-like benchmark drawn from it.
+
+Section 4.1 of the paper traces FB15k's defects back to how Freebase stored
+data around May 2013:
+
+* facts were added as *pairs of reverse triples*, annotated with the special
+  ``reverse_property`` relation;
+* multiary relationships were stored through mediator (CVT) nodes, and for
+  many of those nodes Freebase also materialized *concatenated* binary edges
+  (``r1.r2``) joining the two ends of the mediator;
+* the concatenation produced duplicate / reverse-duplicate relation pairs and
+  Cartesian product relations (e.g. ``travel_destination/climate .
+  travel_destination_monthly_climate/month``).
+
+This module simulates that snapshot: it builds a larger "Freebase-like" graph
+with CVT nodes, reverse-property metadata and concatenated edges, then
+extracts an FB15k-like benchmark that keeps the concatenated and binary edges
+but drops the CVT nodes, exactly as FB15k did.  The snapshot is retained so
+that experiments (Table 3) can use it as the *larger ground truth* against
+which the Cartesian-product predictor is scored.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, RelationProvenance
+from .generators import (
+    GeneratedKG,
+    RelationSpec,
+    ScaleProfile,
+    SyntheticKGBuilder,
+    assemble_dataset,
+    get_scale,
+)
+from .triples import TripleSet
+
+LabelledTriple = Tuple[str, str, str]
+
+
+@dataclass
+class FreebaseSnapshot:
+    """A simulated Freebase snapshot (the May-2013 stand-in).
+
+    Attributes
+    ----------
+    triples:
+        Every labelled triple of the snapshot, including edges adjacent to CVT
+        nodes and the concatenated binary edges.
+    benchmark_kg:
+        The subset of the snapshot used to build the FB15k-like benchmark
+        (binary and concatenated relations only, no CVT nodes).
+    reverse_property_pairs:
+        The explicit ``reverse_property`` annotations.
+    cartesian_relations:
+        Names of relations that are Cartesian products by construction.
+    concatenated_relations:
+        Names of relations created by concatenating two mediator edges.
+    """
+
+    triples: List[LabelledTriple] = field(default_factory=list)
+    benchmark_kg: GeneratedKG = field(default_factory=GeneratedKG)
+    reverse_property_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    cartesian_relations: List[str] = field(default_factory=list)
+    concatenated_relations: List[str] = field(default_factory=list)
+
+    def triple_set(self, vocab) -> TripleSet:
+        """Encode the snapshot against a benchmark vocabulary.
+
+        Triples whose entities or relations are unknown to the benchmark are
+        skipped — they exist only in the wider snapshot, which is precisely
+        what makes it a *larger* ground truth.
+        """
+        encoded = TripleSet()
+        for h, r, t in self.triples:
+            if h in vocab.entities and t in vocab.entities and r in vocab.relations:
+                encoded.add((vocab.entity_id(h), vocab.relation_id(r), vocab.entity_id(t)))
+        return encoded
+
+
+@dataclass
+class _MediatorTemplate:
+    """One multiary relationship family realized through CVT nodes."""
+
+    domain: str
+    left_type: str
+    right_type: str
+    left_edge: str          # e.g. award_category/nominees      (entity -> CVT)
+    right_edge: str         # e.g. award_nomination/nominated_for (CVT -> entity)
+    num_left: int
+    num_right: int
+    num_instances: int
+    cartesian: bool = False
+    make_reverse_duplicate: bool = False
+    #: Also emit a plain (non-concatenated) binary relation sharing ~90 % of the
+    #: concatenated relation's pairs — the "duplicate relation" pattern of
+    #: Figure 3 (football_position/players vs the concatenated roster relation).
+    duplicate_plain_name: str | None = None
+
+
+def _mediator_templates(scale: ScaleProfile) -> List[_MediatorTemplate]:
+    """The multiary families of the simulated snapshot, scaled."""
+    base = max(20, scale.pair_budget)
+    return [
+        _MediatorTemplate(
+            domain="award", left_type="award", right_type="work",
+            left_edge="award_category/nominees",
+            right_edge="award_nomination/nominated_for",
+            num_left=max(6, base // 12), num_right=max(20, base // 3),
+            num_instances=base * 2,
+            make_reverse_duplicate=True,
+        ),
+        _MediatorTemplate(
+            domain="sports", left_type="player", right_type="position",
+            left_edge="football_player/current_team",
+            right_edge="sports_team_roster/position",
+            num_left=max(25, base // 2), num_right=8,
+            num_instances=base * 2,
+            make_reverse_duplicate=True,
+            duplicate_plain_name="football_position/players_of",
+        ),
+        _MediatorTemplate(
+            domain="music", left_type="artist", right_type="record_label",
+            left_edge="music_artist/label_history",
+            right_edge="label_relationship/label",
+            num_left=max(20, base // 3), num_right=max(6, base // 10),
+            num_instances=base,
+            duplicate_plain_name="music_artist/label",
+        ),
+        _MediatorTemplate(
+            domain="travel", left_type="city", right_type="month",
+            left_edge="travel_destination/climate",
+            right_edge="travel_destination_monthly_climate/month",
+            num_left=max(10, base // 8), num_right=12,
+            num_instances=base,
+            cartesian=True,
+        ),
+        _MediatorTemplate(
+            domain="olympics", left_type="games", right_type="medal",
+            left_edge="olympic_games/medals_awarded",
+            right_edge="olympic_medal_honor/medal",
+            num_left=max(4, base // 20), num_right=4,
+            num_instances=base // 2,
+            cartesian=True,
+        ),
+        _MediatorTemplate(
+            domain="education", left_type="institution", right_type="gender",
+            left_edge="educational_institution/sexes_accepted",
+            right_edge="gender_enrollment/sex",
+            num_left=max(10, base // 8), num_right=2,
+            num_instances=base // 2,
+            cartesian=True,
+        ),
+    ]
+
+
+def _binary_reverse_families(scale: ScaleProfile) -> List[Tuple[str, str, str, str, int]]:
+    """Plain binary relations stored as explicit reverse pairs in Freebase.
+
+    Returns tuples of (forward name, reverse name, subject type, object type,
+    pair count).
+    """
+    base = max(20, scale.pair_budget)
+    families = [
+        ("film/directed_by", "director/film", "film", "person"),
+        ("film/produced_by", "film/producer", "film", "person"),
+        ("film/written_by", "writer/film", "film", "person"),
+        ("film/genre", "film_genre/films_in_this_genre", "film", "genre"),
+        ("person/nationality", "country/people_born_here", "person", "country"),
+        ("film/language", "language/films", "film", "language"),
+        ("tv/program_genre", "tv_genre/programs", "program", "genre"),
+        ("music/artist_genre", "music_genre/artists", "artist", "genre"),
+        ("person/profession", "profession/people_with_this_profession", "person", "profession"),
+        ("location/contains", "location/containedby", "location", "location"),
+        ("organization/founded_by", "person/organizations_founded", "org", "person"),
+        ("book/author", "author/works_written", "book", "person"),
+        ("person/spouse", "person/spouse_of", "person", "person"),
+        ("team/player", "player/team", "team", "player"),
+        ("university/alumni", "person/alma_mater", "institution", "person"),
+        ("company/industry", "industry/companies", "company", "industry"),
+        ("actor/film", "film/starring", "person", "film"),
+        ("composer/compositions", "composition/composer", "person", "work"),
+    ]
+    families = families[: max(4, scale.num_reverse_families)]
+    return [(f, r, st, ot, base) for f, r, st, ot in families]
+
+
+def _normal_families(scale: ScaleProfile) -> List[Tuple[str, str, str, str, int]]:
+    """Relations with no engineered redundancy (the 'realistic' remainder)."""
+    base = max(20, scale.pair_budget)
+    families = [
+        # The list is ordered so that the hard n-m relations (realistic link
+        # prediction: sparse, high-cardinality object sets) dominate even at
+        # small scales — this is what keeps the de-redundant variant hard, as
+        # the real FB15k-237 is.
+        ("person/award_nominations_received", "person", "award_event", "n-m"),
+        ("person/place_of_birth", "person", "city", "n-1"),
+        ("film/festival_premiere", "film", "festival", "n-m"),
+        ("person/languages_spoken", "person", "language", "n-m"),
+        ("country/capital", "country", "city", "1-1"),
+        ("city/sister_city", "city", "city", "n-m"),
+        ("person/children", "person", "person", "1-n"),
+        ("film/cinematography_collaborations", "film", "person", "n-m"),
+        ("person/place_of_death", "person", "city", "n-1"),
+        ("organization/partnerships", "org", "org", "n-m"),
+        ("film/prequel", "film", "film", "1-1"),
+        ("person/influenced_by", "person", "person", "n-m"),
+        ("organization/subsidiaries", "org", "org", "1-n"),
+        ("person/religion", "person", "religion", "n-1"),
+        ("tv_program/filming_locations", "program", "city", "n-m"),
+        ("city/time_zone", "city", "timezone", "n-1"),
+        ("company/headquarters", "company", "city", "n-1"),
+        ("award/year_established", "award", "year", "1-1"),
+    ]
+    families = families[: max(4, scale.num_normal_families)]
+    return [(name, st, ot, card) for name, st, ot, card in families], base
+
+
+def build_freebase_snapshot(
+    scale: str | ScaleProfile = "small", seed: int = 13
+) -> FreebaseSnapshot:
+    """Simulate the May-2013 Freebase snapshot at the requested scale."""
+    profile = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    snapshot = FreebaseSnapshot()
+    benchmark = snapshot.benchmark_kg
+
+    # ------------------------------------------------------------------ CVTs
+    cvt_counter = itertools.count()
+    for template in _mediator_templates(profile):
+        left_pool = [f"{template.left_type}_{i}" for i in range(template.num_left)]
+        right_pool = [f"{template.right_type}_{i}" for i in range(template.num_right)]
+        concat_name = f"{template.left_edge}.{template.right_edge}"
+        left_inv = f"{template.left_edge}_of"
+        right_inv = f"{template.right_edge}_of"
+        reverse_concat_name = f"{right_inv}.{left_inv}"
+
+        if template.cartesian:
+            pairs = list(itertools.product(left_pool, right_pool))
+            keep = max(1, int(round(0.97 * len(pairs))))
+            indices = rng.choice(len(pairs), size=keep, replace=False)
+            chosen = [pairs[i] for i in indices]
+        else:
+            capacity = len(left_pool) * len(right_pool)
+            target = min(template.num_instances, int(0.85 * capacity))
+            chosen = []
+            seen: set[Tuple[str, str]] = set()
+            attempts, limit = 0, 60 * max(1, target)
+            while len(chosen) < target and attempts < limit:
+                pair = (
+                    left_pool[int(rng.integers(len(left_pool)))],
+                    right_pool[int(rng.integers(len(right_pool)))],
+                )
+                if pair not in seen:
+                    seen.add(pair)
+                    chosen.append(pair)
+                attempts += 1
+
+        for pair_index, (left_entity, right_entity) in enumerate(chosen):
+            cvt = f"cvt/{template.domain}/{next(cvt_counter)}"
+            # Snapshot keeps the mediator edges themselves.
+            snapshot.triples.append((left_entity, template.left_edge, cvt))
+            snapshot.triples.append((cvt, template.right_edge, right_entity))
+            # ... and the concatenated binary edge.  ~8 % of the concatenated
+            # pairs stay snapshot-only: Freebase knows facts FB15k never
+            # sampled, which is what makes "Freebase as ground truth" differ
+            # from "FB15k as ground truth" in Table 3.
+            snapshot.triples.append((left_entity, concat_name, right_entity))
+            snapshot_only = (pair_index % 12) == 11
+            if not snapshot_only:
+                benchmark.triples.append((left_entity, concat_name, right_entity))
+            if template.make_reverse_duplicate:
+                snapshot.triples.append((right_entity, reverse_concat_name, left_entity))
+                if not snapshot_only:
+                    benchmark.triples.append((right_entity, reverse_concat_name, left_entity))
+            if template.duplicate_plain_name and (pair_index % 10) != 0:
+                # The plain relation shares ~90 % of the concatenated pairs.
+                snapshot.triples.append((left_entity, template.duplicate_plain_name, right_entity))
+                if not snapshot_only:
+                    benchmark.triples.append((left_entity, template.duplicate_plain_name, right_entity))
+
+        benchmark.provenance[concat_name] = RelationProvenance(
+            name=concat_name,
+            kind="cartesian" if template.cartesian else "concatenated",
+            cartesian=template.cartesian,
+            concatenated=True,
+            reverse_of=reverse_concat_name if template.make_reverse_duplicate else None,
+            duplicate_of=template.duplicate_plain_name,
+        )
+        if template.duplicate_plain_name:
+            benchmark.provenance[template.duplicate_plain_name] = RelationProvenance(
+                name=template.duplicate_plain_name,
+                kind="duplicate_pair",
+                duplicate_of=concat_name,
+            )
+        snapshot.concatenated_relations.append(concat_name)
+        if template.cartesian:
+            snapshot.cartesian_relations.append(concat_name)
+        if template.make_reverse_duplicate:
+            benchmark.provenance[reverse_concat_name] = RelationProvenance(
+                name=reverse_concat_name,
+                kind="concatenated",
+                concatenated=True,
+                reverse_of=concat_name,
+            )
+            snapshot.concatenated_relations.append(reverse_concat_name)
+            snapshot.reverse_property_pairs.append((concat_name, reverse_concat_name))
+            benchmark.reverse_property_pairs.append((concat_name, reverse_concat_name))
+
+    # ------------------------------------------------------- binary reverse pairs
+    for forward, reverse, subj_type, obj_type, count in _binary_reverse_families(profile):
+        # Pools are wide enough that non-leaked triples of these relations are
+        # genuinely hard to predict; the contrast with their leaked reverse
+        # counterparts is exactly the effect the paper measures.
+        subjects = [f"{subj_type}_{i}" for i in range(max(15, (2 * count) // 3))]
+        objects = [f"{obj_type}_{i}" for i in range(max(12, count // 2))]
+        capacity = len(subjects) * len(objects)
+        target = min(count, int(0.6 * capacity))
+        seen_pairs: set[Tuple[str, str]] = set()
+        attempts, limit = 0, 60 * max(1, target)
+        while len(seen_pairs) < target and attempts < limit:
+            pair = (
+                subjects[int(rng.integers(len(subjects)))],
+                objects[int(rng.integers(len(objects)))],
+            )
+            seen_pairs.add(pair)
+            attempts += 1
+        # The snapshot holds a superset: ~25 % extra pairs that FB15k misses.
+        extra_target = min(count // 4, capacity - len(seen_pairs))
+        extra_pairs: set[Tuple[str, str]] = set()
+        attempts, limit = 0, 60 * max(1, extra_target)
+        while len(extra_pairs) < extra_target and attempts < limit:
+            pair = (
+                subjects[int(rng.integers(len(subjects)))],
+                objects[int(rng.integers(len(objects)))],
+            )
+            if pair not in seen_pairs:
+                extra_pairs.add(pair)
+            attempts += 1
+        for h, t in seen_pairs:
+            snapshot.triples.append((h, forward, t))
+            snapshot.triples.append((t, reverse, h))
+            benchmark.triples.append((h, forward, t))
+            benchmark.triples.append((t, reverse, h))
+        for h, t in extra_pairs:
+            snapshot.triples.append((h, forward, t))
+            snapshot.triples.append((t, reverse, h))
+        benchmark.provenance[forward] = RelationProvenance(
+            name=forward, kind="reverse_pair", reverse_of=reverse
+        )
+        benchmark.provenance[reverse] = RelationProvenance(
+            name=reverse, kind="reverse_pair", reverse_of=forward
+        )
+        snapshot.reverse_property_pairs.append((forward, reverse))
+        benchmark.reverse_property_pairs.append((forward, reverse))
+
+    # ------------------------------------------------------------- normal relations
+    normal_families, base = _normal_families(profile)
+    builder = SyntheticKGBuilder(num_entities=profile.num_entities, seed=seed + 1)
+    specs = [
+        RelationSpec(
+            name=name,
+            kind="normal",
+            num_pairs=base,
+            cardinality=card,
+            # n-m relations get wide subject/object pools so they remain hard
+            # to predict (the realistic case); n-1 relations keep a small hub
+            # object set, matching attribute-like Freebase relations.
+            subject_pool=max(20, base) if card == "n-m" else max(12, base // 2),
+            object_pool=(
+                max(8, base // 6) if card == "n-1" else
+                max(30, base) if card == "n-m" else
+                max(12, base // 3)
+            ),
+            subject_prefix=f"{subj_type}_",
+            object_prefix=f"{obj_type}_",
+        )
+        for name, subj_type, obj_type, card in normal_families
+    ]
+    normal_kg = builder.build(specs)
+    benchmark.extend(normal_kg)
+    snapshot.triples.extend(normal_kg.triples)
+    # The snapshot also knows normal facts FB15k never sampled.
+    extra_builder = SyntheticKGBuilder(num_entities=profile.num_entities, seed=seed + 2)
+    extra_kg = extra_builder.build(
+        [
+            RelationSpec(
+                name=name,
+                kind="normal",
+                num_pairs=max(4, base // 4),
+                cardinality=card,
+                subject_pool=max(12, base // 2),
+                object_pool=max(6, base // 6),
+                subject_prefix=f"{subj_type}_",
+                object_prefix=f"{obj_type}_",
+            )
+            for name, subj_type, obj_type, card in normal_families
+        ]
+    )
+    snapshot.triples.extend(extra_kg.triples)
+
+    # Deduplicate benchmark triples (concatenation may repeat pairs).
+    seen_triples: set[LabelledTriple] = set()
+    unique: List[LabelledTriple] = []
+    for triple in benchmark.triples:
+        if triple not in seen_triples:
+            seen_triples.add(triple)
+            unique.append(triple)
+    benchmark.triples = unique
+    return snapshot
+
+
+def fb15k_like(
+    scale: str | ScaleProfile = "small",
+    seed: int = 13,
+    snapshot: Optional[FreebaseSnapshot] = None,
+) -> Tuple[Dataset, FreebaseSnapshot]:
+    """Build the FB15k-like benchmark and return it with its source snapshot."""
+    snapshot = snapshot or build_freebase_snapshot(scale, seed)
+    dataset = assemble_dataset(
+        name="FB15k-like",
+        generated=snapshot.benchmark_kg,
+        seed=seed,
+        # FB15k's own split proportions: 483,142 / 50,000 / 59,071.
+        fractions=(0.816, 0.084, 0.100),
+        source="freebase-simulation",
+        notes={
+            "description": "structural replica of FB15k drawn from a simulated "
+            "May-2013 Freebase snapshot with CVT nodes and reverse_property pairs",
+        },
+    )
+    return dataset, snapshot

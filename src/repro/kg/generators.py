@@ -1,0 +1,388 @@
+"""Synthetic knowledge-graph generators.
+
+The paper's experiments run on FB15k, WN18, YAGO3-10 and variants derived
+from them.  Those dumps are not available offline, so this module builds
+*structural replicas*: scaled-down synthetic datasets that reproduce the
+statistical structure the paper's analysis depends on —
+
+* reverse relation pairs covering most of the triples (FB15k ≈ 70 %,
+  WN18 ≈ 92.5 % of training triples form reverse pairs),
+* symmetric (self-reciprocal) relations,
+* duplicate and reverse-duplicate relation pairs with ≥ 80 % subject-object
+  overlap, mostly created through "concatenated" relations,
+* Cartesian product relations whose subject-object pairs cover most of a
+  subject-set × object-set product,
+* ordinary relations of all four cardinality classes (1-1, 1-n, n-1, n-m).
+
+A generated dataset carries :class:`~repro.kg.dataset.RelationProvenance`
+metadata recording what each relation *really* is, so tests can verify the
+detection algorithms of :mod:`repro.core` against ground truth, while the
+detectors themselves only ever see the triples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, DatasetMetadata, RelationProvenance
+from .triples import TripleSet
+from .vocabulary import Vocabulary
+
+LabelledTriple = Tuple[str, str, str]
+
+#: The split fractions used by the public benchmarks (roughly 81/8/10 for FB15k).
+DEFAULT_SPLIT_FRACTIONS = (0.82, 0.08, 0.10)
+
+
+@dataclass
+class RelationSpec:
+    """Declarative description of one relation family to synthesize.
+
+    ``kind`` selects the redundancy structure:
+
+    ``normal``
+        A plain relation; ``cardinality`` controls its 1-1/1-n/n-1/n-m shape.
+    ``reverse_pair``
+        Two relations ``name`` and ``name + "_inv"``; every pair (h, t) of the
+        forward relation also appears as (t, h) of the inverse.
+    ``symmetric``
+        One relation where (h, t) implies (t, h); both directions are emitted.
+    ``duplicate_pair``
+        Two relations sharing ``overlap`` of their subject-object pairs.
+    ``reverse_duplicate_pair``
+        Two relations where the second holds the *reversed* pairs of the
+        first for an ``overlap`` fraction.
+    ``cartesian``
+        A relation covering ``coverage`` of a full subject-set × object-set
+        product (the paper's Cartesian product relations, §4.3).
+    """
+
+    name: str
+    kind: str = "normal"
+    num_pairs: int = 100
+    cardinality: str = "n-m"
+    subject_pool: int = 40
+    object_pool: int = 40
+    overlap: float = 0.9
+    coverage: float = 0.95
+    concatenated: bool = False
+    subject_prefix: Optional[str] = None
+    object_prefix: Optional[str] = None
+
+
+@dataclass
+class GeneratedKG:
+    """Raw output of the builder: labelled triples plus provenance."""
+
+    triples: List[LabelledTriple] = field(default_factory=list)
+    provenance: Dict[str, RelationProvenance] = field(default_factory=dict)
+    reverse_property_pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def extend(self, other: "GeneratedKG") -> None:
+        self.triples.extend(other.triples)
+        self.provenance.update(other.provenance)
+        self.reverse_property_pairs.extend(other.reverse_property_pairs)
+
+
+class SyntheticKGBuilder:
+    """Builds labelled triples for a list of :class:`RelationSpec` entries."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        seed: int = 0,
+        entity_prefix: str = "e",
+    ) -> None:
+        if num_entities < 4:
+            raise ValueError("need at least 4 entities to build a synthetic KG")
+        self.num_entities = num_entities
+        self.rng = np.random.default_rng(seed)
+        self.entity_prefix = entity_prefix
+        self._entity_labels = [f"{entity_prefix}{i}" for i in range(num_entities)]
+
+    # -- entity pools -----------------------------------------------------
+    def _pool(self, size: int, prefix: Optional[str]) -> List[str]:
+        """Draw a pool of entity labels, optionally from a typed sub-namespace."""
+        size = max(2, min(size, self.num_entities))
+        if prefix is None:
+            indices = self.rng.choice(self.num_entities, size=size, replace=False)
+            return [self._entity_labels[i] for i in indices]
+        return [f"{prefix}{i}" for i in range(size)]
+
+    # -- pair generation ----------------------------------------------------
+    def _sample_pairs(self, spec: RelationSpec) -> List[Tuple[str, str]]:
+        subjects = self._pool(spec.subject_pool, spec.subject_prefix)
+        objects = self._pool(spec.object_pool, spec.object_prefix)
+        if spec.kind == "cartesian":
+            return self._cartesian_pairs(subjects, objects, spec.coverage)
+        return self._cardinality_pairs(subjects, objects, spec.num_pairs, spec.cardinality)
+
+    def _cartesian_pairs(
+        self, subjects: Sequence[str], objects: Sequence[str], coverage: float
+    ) -> List[Tuple[str, str]]:
+        product = list(itertools.product(subjects, objects))
+        keep = max(1, int(round(coverage * len(product))))
+        indices = self.rng.choice(len(product), size=keep, replace=False)
+        return [product[i] for i in indices]
+
+    def _cardinality_pairs(
+        self,
+        subjects: Sequence[str],
+        objects: Sequence[str],
+        num_pairs: int,
+        cardinality: str,
+    ) -> List[Tuple[str, str]]:
+        pairs: set[Tuple[str, str]] = set()
+        subjects = list(subjects)
+        objects = list(objects)
+        if cardinality == "1-1":
+            count = min(num_pairs, len(subjects), len(objects))
+            perm = self.rng.permutation(len(objects))[:count]
+            for i in range(count):
+                pairs.add((subjects[i], objects[perm[i]]))
+        elif cardinality == "1-n":
+            # Few subjects, each connected to several objects; every object is
+            # used at most once so the heads-per-tail average stays below 1.5.
+            hubs = subjects[: max(3, len(subjects) // 6)]
+            target = min(num_pairs, len(objects))
+            chosen_objects = self.rng.permutation(len(objects))[:target]
+            for position, object_index in enumerate(chosen_objects):
+                pairs.add((hubs[position % len(hubs)], objects[object_index]))
+        elif cardinality == "n-1":
+            # Every subject appears at most once so tails-per-head stays below 1.5,
+            # while objects are a small hub set shared by many subjects.
+            hubs = objects[: max(3, len(objects) // 6)]
+            target = min(num_pairs, len(subjects))
+            chosen_subjects = self.rng.permutation(len(subjects))[:target]
+            for position, subject_index in enumerate(chosen_subjects):
+                pairs.add((subjects[subject_index], hubs[int(self.rng.integers(len(hubs)))]))
+        else:  # n-m
+            target = min(num_pairs, len(subjects) * len(objects) - 1)
+            attempts, limit = 0, 50 * max(1, target)
+            while len(pairs) < target and attempts < limit:
+                h = subjects[int(self.rng.integers(len(subjects)))]
+                t = objects[int(self.rng.integers(len(objects)))]
+                if h != t:
+                    pairs.add((h, t))
+                attempts += 1
+        return list(pairs)
+
+    # -- spec expansion -----------------------------------------------------------
+    def build_relation(self, spec: RelationSpec) -> GeneratedKG:
+        """Materialize one :class:`RelationSpec` into triples and provenance."""
+        result = GeneratedKG()
+        pairs = self._sample_pairs(spec)
+
+        if spec.kind == "normal":
+            result.triples.extend((h, spec.name, t) for h, t in pairs)
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name, kind="normal", concatenated=spec.concatenated
+            )
+
+        elif spec.kind == "cartesian":
+            result.triples.extend((h, spec.name, t) for h, t in pairs)
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name,
+                kind="cartesian",
+                cartesian=True,
+                concatenated=spec.concatenated,
+            )
+
+        elif spec.kind == "symmetric":
+            for h, t in pairs:
+                result.triples.append((h, spec.name, t))
+                result.triples.append((t, spec.name, h))
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name, kind="symmetric", symmetric=True
+            )
+
+        elif spec.kind == "reverse_pair":
+            inverse_name = f"{spec.name}_inv"
+            for h, t in pairs:
+                result.triples.append((h, spec.name, t))
+                result.triples.append((t, inverse_name, h))
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name,
+                kind="reverse_pair",
+                reverse_of=inverse_name,
+                concatenated=spec.concatenated,
+            )
+            result.provenance[inverse_name] = RelationProvenance(
+                name=inverse_name,
+                kind="reverse_pair",
+                reverse_of=spec.name,
+                concatenated=spec.concatenated,
+            )
+            result.reverse_property_pairs.append((spec.name, inverse_name))
+
+        elif spec.kind == "duplicate_pair":
+            twin_name = f"{spec.name}_dup"
+            shared = int(round(spec.overlap * len(pairs)))
+            result.triples.extend((h, spec.name, t) for h, t in pairs)
+            result.triples.extend((h, twin_name, t) for h, t in pairs[:shared])
+            extra = self._cardinality_pairs(
+                [h for h, _ in pairs], [t for _, t in pairs],
+                max(1, len(pairs) - shared), spec.cardinality,
+            )
+            result.triples.extend((h, twin_name, t) for h, t in extra)
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name, kind="duplicate_pair", duplicate_of=twin_name,
+                concatenated=spec.concatenated,
+            )
+            result.provenance[twin_name] = RelationProvenance(
+                name=twin_name, kind="duplicate_pair", duplicate_of=spec.name,
+                concatenated=True,
+            )
+
+        elif spec.kind == "reverse_duplicate_pair":
+            twin_name = f"{spec.name}_revdup"
+            shared = int(round(spec.overlap * len(pairs)))
+            result.triples.extend((h, spec.name, t) for h, t in pairs)
+            result.triples.extend((t, twin_name, h) for h, t in pairs[:shared])
+            extra = self._cardinality_pairs(
+                [t for _, t in pairs], [h for h, _ in pairs],
+                max(1, len(pairs) - shared), spec.cardinality,
+            )
+            result.triples.extend((h, twin_name, t) for h, t in extra)
+            result.provenance[spec.name] = RelationProvenance(
+                name=spec.name, kind="reverse_duplicate_pair",
+                reverse_duplicate_of=twin_name, concatenated=spec.concatenated,
+            )
+            result.provenance[twin_name] = RelationProvenance(
+                name=twin_name, kind="reverse_duplicate_pair",
+                reverse_duplicate_of=spec.name, concatenated=True,
+            )
+
+        else:
+            raise ValueError(f"unknown relation spec kind: {spec.kind!r}")
+
+        return result
+
+    def build(self, specs: Iterable[RelationSpec]) -> GeneratedKG:
+        """Materialize every spec into one combined generated KG."""
+        combined = GeneratedKG()
+        for spec in specs:
+            combined.extend(self.build_relation(spec))
+        # Deduplicate while keeping insertion order.
+        seen: set[LabelledTriple] = set()
+        unique: List[LabelledTriple] = []
+        for triple in combined.triples:
+            if triple not in seen:
+                seen.add(triple)
+                unique.append(triple)
+        combined.triples = unique
+        return combined
+
+
+# ---------------------------------------------------------------------------
+# Splitting and assembly
+# ---------------------------------------------------------------------------
+
+def random_split(
+    triples: Sequence[LabelledTriple],
+    fractions: Tuple[float, float, float] = DEFAULT_SPLIT_FRACTIONS,
+    seed: int = 0,
+) -> Tuple[List[LabelledTriple], List[LabelledTriple], List[LabelledTriple]]:
+    """Randomly split labelled triples into train/valid/test.
+
+    Exactly as with the original FB15k/WN18, the split is *uniform over
+    triples*, which is what lets reverse and duplicate pairs straddle the
+    train/test boundary and produce the leakage the paper studies.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("split fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(triples))
+    n_train = int(round(fractions[0] * len(triples)))
+    n_valid = int(round(fractions[1] * len(triples)))
+    train_idx = order[:n_train]
+    valid_idx = order[n_train:n_train + n_valid]
+    test_idx = order[n_train + n_valid:]
+    triples = list(triples)
+    return (
+        [triples[i] for i in train_idx],
+        [triples[i] for i in valid_idx],
+        [triples[i] for i in test_idx],
+    )
+
+
+def assemble_dataset(
+    name: str,
+    generated: GeneratedKG,
+    seed: int = 0,
+    fractions: Tuple[float, float, float] = DEFAULT_SPLIT_FRACTIONS,
+    source: str = "synthetic",
+    notes: Optional[Dict[str, str]] = None,
+) -> Dataset:
+    """Split a generated KG and wrap it as a :class:`Dataset`."""
+    train_rows, valid_rows, test_rows = random_split(generated.triples, fractions, seed)
+    vocab = Vocabulary()
+    # Register every entity and relation from the *whole* KG so that entities
+    # seen only in valid/test still get ids (as in the public benchmarks).
+    for head, relation, tail in generated.triples:
+        vocab.add_entity(head)
+        vocab.add_relation(relation)
+        vocab.add_entity(tail)
+
+    def encode(rows: Iterable[LabelledTriple]) -> TripleSet:
+        return TripleSet(
+            (vocab.entity_id(h), vocab.relation_id(r), vocab.entity_id(t))
+            for h, r, t in rows
+        )
+
+    metadata = DatasetMetadata(
+        source=source,
+        relation_provenance=dict(generated.provenance),
+        reverse_property_pairs=list(generated.reverse_property_pairs),
+        notes=notes or {},
+    )
+    dataset = Dataset(
+        name=name,
+        vocab=vocab,
+        train=encode(train_rows),
+        valid=encode(valid_rows),
+        test=encode(test_rows),
+        metadata=metadata,
+    )
+    dataset.validate()
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# Scale profiles
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Knobs that scale a benchmark replica up or down."""
+
+    name: str
+    num_entities: int
+    pair_budget: int        # approximate triples per ordinary relation family
+    num_reverse_families: int
+    num_normal_families: int
+    num_duplicate_families: int
+    num_cartesian_families: int
+
+
+SCALES: Dict[str, ScaleProfile] = {
+    "tiny": ScaleProfile("tiny", 160, 60, 6, 6, 2, 2),
+    "small": ScaleProfile("small", 400, 120, 10, 10, 4, 3),
+    "medium": ScaleProfile("medium", 1200, 300, 18, 16, 8, 6),
+}
+
+
+def get_scale(scale: str | ScaleProfile) -> ScaleProfile:
+    """Resolve a scale name into a :class:`ScaleProfile`."""
+    if isinstance(scale, ScaleProfile):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from exc

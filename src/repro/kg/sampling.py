@@ -1,0 +1,142 @@
+"""Negative sampling for embedding-model training.
+
+The paper's models are trained with the corruption protocol of Bordes et al.:
+each positive triple ``(h, r, t)`` is paired with negatives obtained by
+replacing the head or the tail with a random entity.  Two samplers are
+provided:
+
+* :class:`UniformNegativeSampler` — the plain protocol (corrupt head or tail
+  with equal probability, uniformly over entities).
+* :class:`BernoulliNegativeSampler` — the TransH variant that corrupts the
+  side chosen by the relation's head/tail cardinality ratio, reducing false
+  negatives on 1-to-n / n-to-1 relations.
+
+Both can *filter* negatives, i.e. resample corruptions that happen to be known
+positive triples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .triples import TripleSet
+
+
+class NegativeSampler:
+    """Base class: corrupt a batch of positive triples into negatives."""
+
+    def __init__(
+        self,
+        train: TripleSet,
+        num_entities: int,
+        rng: Optional[np.random.Generator] = None,
+        filtered: bool = True,
+        max_resample_rounds: int = 10,
+    ) -> None:
+        if num_entities <= 1:
+            raise ValueError("negative sampling needs at least two entities")
+        self.train = train
+        self.num_entities = num_entities
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.filtered = filtered
+        self.max_resample_rounds = max_resample_rounds
+        self._known = train.as_set()
+
+    # -- protocol ------------------------------------------------------------
+    def corrupt_side(self, positives: np.ndarray) -> np.ndarray:
+        """Return a boolean array: True where the *head* should be corrupted."""
+        raise NotImplementedError
+
+    def sample(
+        self, positives: np.ndarray, num_negatives: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate ``num_negatives`` corruptions of each positive.
+
+        Parameters
+        ----------
+        positives:
+            ``(n, 3)`` array of positive triples.
+        num_negatives:
+            Number of negatives per positive.
+
+        Returns
+        -------
+        negatives:
+            ``(n * num_negatives, 3)`` array of corrupted triples.
+        positive_index:
+            ``(n * num_negatives,)`` array mapping each negative back to the
+            row of the positive it corrupts.
+        """
+        positives = np.asarray(positives, dtype=np.int64)
+        if positives.ndim != 2 or positives.shape[1] != 3:
+            raise ValueError("positives must be an (n, 3) array")
+        repeated = np.repeat(positives, num_negatives, axis=0)
+        positive_index = np.repeat(np.arange(len(positives)), num_negatives)
+        corrupt_head = self.corrupt_side(repeated)
+        negatives = repeated.copy()
+        random_entities = self.rng.integers(0, self.num_entities, size=len(repeated))
+        negatives[corrupt_head, 0] = random_entities[corrupt_head]
+        negatives[~corrupt_head, 2] = random_entities[~corrupt_head]
+        if self.filtered:
+            negatives = self._resample_known_positives(negatives, corrupt_head)
+        return negatives, positive_index
+
+    # -- helpers -----------------------------------------------------------------
+    def _resample_known_positives(
+        self, negatives: np.ndarray, corrupt_head: np.ndarray
+    ) -> np.ndarray:
+        """Resample any corruption that is a known training triple."""
+        for _ in range(self.max_resample_rounds):
+            clashes = np.array(
+                [tuple(row) in self._known for row in negatives], dtype=bool
+            )
+            if not clashes.any():
+                break
+            fresh = self.rng.integers(0, self.num_entities, size=int(clashes.sum()))
+            rows = np.flatnonzero(clashes)
+            head_rows = rows[corrupt_head[rows]]
+            tail_rows = rows[~corrupt_head[rows]]
+            negatives[head_rows, 0] = fresh[: len(head_rows)]
+            negatives[tail_rows, 2] = fresh[len(head_rows):]
+        return negatives
+
+
+class UniformNegativeSampler(NegativeSampler):
+    """Corrupt head or tail with probability 0.5, uniformly over entities."""
+
+    def corrupt_side(self, positives: np.ndarray) -> np.ndarray:
+        return self.rng.random(len(positives)) < 0.5
+
+
+class BernoulliNegativeSampler(NegativeSampler):
+    """TransH's relation-aware corruption-side selection.
+
+    For each relation the probability of corrupting the head is
+    ``tph / (tph + hpt)`` where ``tph`` is the average number of tails per
+    head and ``hpt`` the average number of heads per tail, both measured on
+    the training set.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._head_probability = self._relation_head_probabilities()
+
+    def _relation_head_probabilities(self) -> Dict[int, float]:
+        probabilities: Dict[int, float] = {}
+        for relation in self.train.relations:
+            pairs = self.train.pairs_of(relation)
+            heads = {h for h, _ in pairs}
+            tails = {t for _, t in pairs}
+            tails_per_head = len(pairs) / len(heads) if heads else 0.0
+            heads_per_tail = len(pairs) / len(tails) if tails else 0.0
+            total = tails_per_head + heads_per_tail
+            probabilities[relation] = tails_per_head / total if total else 0.5
+        return probabilities
+
+    def corrupt_side(self, positives: np.ndarray) -> np.ndarray:
+        probs = np.array(
+            [self._head_probability.get(int(r), 0.5) for r in positives[:, 1]]
+        )
+        return self.rng.random(len(positives)) < probs

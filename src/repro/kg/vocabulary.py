@@ -1,0 +1,135 @@
+"""Bidirectional label/index vocabularies for entities and relations.
+
+Every knowledge graph in this library stores triples as integer index
+triples ``(h, r, t)``.  A :class:`Vocabulary` owns the mapping between the
+human-readable labels (e.g. ``"film/directed_by"``) and those integer ids,
+separately for entities and relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class VocabularyError(KeyError):
+    """Raised when a label or index is not present in the vocabulary."""
+
+
+class _LabelIndex:
+    """A single bidirectional mapping between string labels and dense ids."""
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._label_to_id: dict[str, int] = {}
+        self._id_to_label: list[str] = []
+        for label in labels:
+            self.add(label)
+
+    def add(self, label: str) -> int:
+        """Add ``label`` if missing and return its id."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_label)
+        self._label_to_id[label] = new_id
+        self._id_to_label.append(label)
+        return new_id
+
+    def id_of(self, label: str) -> int:
+        try:
+            return self._label_to_id[label]
+        except KeyError as exc:
+            raise VocabularyError(f"unknown label: {label!r}") from exc
+
+    def label_of(self, index: int) -> str:
+        if 0 <= index < len(self._id_to_label):
+            return self._id_to_label[index]
+        raise VocabularyError(f"index out of range: {index}")
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._label_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_label)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_label)
+
+    def labels(self) -> list[str]:
+        """All labels, ordered by id."""
+        return list(self._id_to_label)
+
+
+@dataclass
+class Vocabulary:
+    """Entity and relation vocabularies of a knowledge graph.
+
+    The two namespaces are independent: an entity and a relation may share a
+    label (Freebase relations are themselves entities in some triples, as the
+    paper notes for ``reverse_property``).
+    """
+
+    entities: _LabelIndex = field(default_factory=_LabelIndex)
+    relations: _LabelIndex = field(default_factory=_LabelIndex)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_labels(
+        cls,
+        entity_labels: Iterable[str],
+        relation_labels: Iterable[str],
+    ) -> "Vocabulary":
+        return cls(_LabelIndex(entity_labels), _LabelIndex(relation_labels))
+
+    def add_entity(self, label: str) -> int:
+        return self.entities.add(label)
+
+    def add_relation(self, label: str) -> int:
+        return self.relations.add(label)
+
+    # -- lookups ----------------------------------------------------------
+    def entity_id(self, label: str) -> int:
+        return self.entities.id_of(label)
+
+    def relation_id(self, label: str) -> int:
+        return self.relations.id_of(label)
+
+    def entity_label(self, index: int) -> str:
+        return self.entities.label_of(index)
+
+    def relation_label(self, index: int) -> str:
+        return self.relations.label_of(index)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    # -- convenience ------------------------------------------------------
+    def encode_triple(self, head: str, relation: str, tail: str) -> tuple[int, int, int]:
+        """Translate a labelled triple into index form, adding missing labels."""
+        return (
+            self.entities.add(head),
+            self.relations.add(relation),
+            self.entities.add(tail),
+        )
+
+    def decode_triple(self, triple: tuple[int, int, int]) -> tuple[str, str, str]:
+        h, r, t = triple
+        return (
+            self.entities.label_of(h),
+            self.relations.label_of(r),
+            self.entities.label_of(t),
+        )
+
+    def copy(self) -> "Vocabulary":
+        return Vocabulary.from_labels(self.entities.labels(), self.relations.labels())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Vocabulary(num_entities={self.num_entities}, "
+            f"num_relations={self.num_relations})"
+        )

@@ -1,0 +1,162 @@
+"""A WN18-like synthetic benchmark.
+
+WN18 has 18 relations; the paper reports that 14 of them form 7 reverse pairs
+(e.g. ``hypernym`` / ``hyponym``), 3 are self-reciprocal (symmetric:
+``verb_group``, ``similar_to``, ``derivationally_related_form``) and roughly
+92.5 % of the training triples form reverse pairs, with 93 % of the test
+triples having their reverse in the training set.
+
+The replica below reproduces that relation inventory over a synthetic synset
+taxonomy: a forest of hypernym trees supplies the hierarchical reverse pairs,
+a membership structure supplies the ``member_*`` pairs, and random
+within-category links supply the symmetric relations (with
+``derivationally_related_form`` deliberately made the most populated relation,
+as it is in WN18RR where it alone covers more than a third of the training
+triples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, RelationProvenance
+from .generators import GeneratedKG, ScaleProfile, assemble_dataset, get_scale
+
+LabelledTriple = Tuple[str, str, str]
+
+#: The 7 reverse pairs of WN18 (forward name, reverse name).
+REVERSE_PAIRS: List[Tuple[str, str]] = [
+    ("hypernym", "hyponym"),
+    ("instance_hypernym", "instance_hyponym"),
+    ("member_holonym", "member_meronym"),
+    ("part_of", "has_part"),
+    ("substance_holonym", "substance_meronym"),
+    ("member_of_domain_topic", "synset_domain_topic_of"),
+    ("member_of_domain_usage", "synset_domain_usage_of"),
+]
+
+#: The 3 self-reciprocal (symmetric) relations of WN18 / WN18RR.
+SYMMETRIC_RELATIONS: List[str] = [
+    "derivationally_related_form",
+    "similar_to",
+    "verb_group",
+]
+
+#: The remaining relation, kept asymmetric and un-paired.
+PLAIN_RELATION = "also_see"
+
+
+@dataclass
+class _WordnetPlan:
+    num_synsets: int
+    tree_fanout: int
+    pairs_per_relation: int
+    derivational_pairs: int
+
+
+def _plan(scale: ScaleProfile) -> _WordnetPlan:
+    return _WordnetPlan(
+        num_synsets=max(80, scale.num_entities),
+        tree_fanout=3,
+        pairs_per_relation=max(50, scale.pair_budget),
+        derivational_pairs=max(150, scale.pair_budget * 2),
+    )
+
+
+def _taxonomy_edges(
+    synsets: List[str], fanout: int, rng: np.random.Generator
+) -> List[Tuple[str, str]]:
+    """Parent→child edges of a synthetic hypernym forest over ``synsets``."""
+    edges: List[Tuple[str, str]] = []
+    roots = max(1, len(synsets) // 50)
+    for index in range(roots, len(synsets)):
+        parent_index = (index - roots) // fanout
+        parent_index = min(parent_index, index - 1)
+        if rng.random() < 0.08:
+            parent_index = int(rng.integers(0, index))
+        edges.append((synsets[parent_index], synsets[index]))
+    return edges
+
+
+def wn18_like(scale: str | ScaleProfile = "small", seed: int = 29) -> Dataset:
+    """Build the WN18-like benchmark replica."""
+    profile = get_scale(scale)
+    plan = _plan(profile)
+    rng = np.random.default_rng(seed)
+
+    synsets = [f"synset_{i:05d}" for i in range(plan.num_synsets)]
+    generated = GeneratedKG()
+
+    # -- reverse pairs over structural edge sets --------------------------------
+    taxonomy = _taxonomy_edges(synsets, plan.tree_fanout, rng)
+    structures: Dict[str, List[Tuple[str, str]]] = {"hypernym": taxonomy}
+    for forward, _reverse in REVERSE_PAIRS[1:]:
+        count = plan.pairs_per_relation
+        pairs: set[Tuple[str, str]] = set()
+        while len(pairs) < count:
+            a = synsets[int(rng.integers(len(synsets)))]
+            b = synsets[int(rng.integers(len(synsets)))]
+            if a != b:
+                pairs.add((a, b))
+        structures[forward] = list(pairs)
+
+    for forward, reverse in REVERSE_PAIRS:
+        for parent, child in structures[forward]:
+            generated.triples.append((parent, forward, child))
+            generated.triples.append((child, reverse, parent))
+        generated.provenance[forward] = RelationProvenance(
+            name=forward, kind="reverse_pair", reverse_of=reverse
+        )
+        generated.provenance[reverse] = RelationProvenance(
+            name=reverse, kind="reverse_pair", reverse_of=forward
+        )
+        generated.reverse_property_pairs.append((forward, reverse))
+
+    # -- symmetric relations ------------------------------------------------------
+    for relation in SYMMETRIC_RELATIONS:
+        count = (
+            plan.derivational_pairs
+            if relation == "derivationally_related_form"
+            else plan.pairs_per_relation
+        )
+        pairs: set[Tuple[str, str]] = set()
+        while len(pairs) < count:
+            a = synsets[int(rng.integers(len(synsets)))]
+            b = synsets[int(rng.integers(len(synsets)))]
+            if a != b and (b, a) not in pairs:
+                pairs.add((a, b))
+        for a, b in pairs:
+            generated.triples.append((a, relation, b))
+            generated.triples.append((b, relation, a))
+        generated.provenance[relation] = RelationProvenance(
+            name=relation, kind="symmetric", symmetric=True
+        )
+
+    # -- the lone plain relation ---------------------------------------------------
+    plain_pairs: set[Tuple[str, str]] = set()
+    while len(plain_pairs) < plan.pairs_per_relation:
+        a = synsets[int(rng.integers(len(synsets)))]
+        b = synsets[int(rng.integers(len(synsets)))]
+        if a != b:
+            plain_pairs.add((a, b))
+    for a, b in plain_pairs:
+        generated.triples.append((a, PLAIN_RELATION, b))
+    generated.provenance[PLAIN_RELATION] = RelationProvenance(
+        name=PLAIN_RELATION, kind="normal"
+    )
+
+    return assemble_dataset(
+        name="WN18-like",
+        generated=generated,
+        seed=seed,
+        # WN18's own split proportions: 141,442 / 5,000 / 5,000.
+        fractions=(0.934, 0.033, 0.033),
+        source="wordnet-simulation",
+        notes={
+            "description": "structural replica of WN18: 7 reverse relation pairs, "
+            "3 symmetric relations, 1 plain relation over a synthetic synset taxonomy",
+        },
+    )

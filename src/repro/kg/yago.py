@@ -1,0 +1,169 @@
+"""A YAGO3-10-like synthetic benchmark.
+
+Section 4.2.2 of the paper describes YAGO3-10's defects: its two most
+populated relations ``isAffiliatedTo`` and ``playsFor`` are near-duplicates
+(|T_r1 ∩ T_r2| / |r1| = 0.75 and / |r2| = 0.87) and together account for about
+65 % of the training triples, and it contains three semantically symmetric
+relations (``hasNeighbor``, ``isConnectedTo``, ``isMarriedTo``).  The replica
+below reproduces that structure at reduced scale: a player/club affiliation
+core with the engineered overlap, the three symmetric relations, and a tail of
+ordinary relations (``wasBornIn``, ``hasGender``, ``diedIn``, …) filling out
+the 37-relation inventory proportionally to the chosen scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, RelationProvenance
+from .generators import (
+    GeneratedKG,
+    RelationSpec,
+    ScaleProfile,
+    SyntheticKGBuilder,
+    assemble_dataset,
+    get_scale,
+)
+
+LabelledTriple = Tuple[str, str, str]
+
+#: The three symmetric relations the paper calls out.
+SYMMETRIC_RELATIONS = ["isMarriedTo", "hasNeighbor", "isConnectedTo"]
+
+#: Ordinary relations filling out the inventory (subject type, object type, cardinality).
+ORDINARY_RELATIONS: List[Tuple[str, str, str, str]] = [
+    ("wasBornIn", "person", "city", "n-1"),
+    ("diedIn", "person", "city", "n-1"),
+    ("hasGender", "person", "gender", "n-1"),
+    ("graduatedFrom", "person", "university", "n-1"),
+    ("hasWonPrize", "person", "prize", "n-m"),
+    ("isCitizenOf", "person", "country", "n-1"),
+    ("livesIn", "person", "city", "n-1"),
+    ("worksAt", "person", "org", "n-1"),
+    ("created", "person", "work", "1-n"),
+    ("directed", "person", "work", "1-n"),
+    ("actedIn", "person", "work", "n-m"),
+    ("isLocatedIn", "place", "place", "n-1"),
+    ("hasCapital", "country", "city", "1-1"),
+    ("hasOfficialLanguage", "country", "language", "n-m"),
+    ("imports", "country", "good", "n-m"),
+    ("exports", "country", "good", "n-m"),
+    ("dealsWith", "country", "country", "n-m"),
+    ("participatedIn", "country", "event", "n-m"),
+    ("owns", "org", "org", "1-n"),
+    ("isInterestedIn", "person", "topic", "n-m"),
+    ("influences", "person", "person", "n-m"),
+    ("hasAcademicAdvisor", "person", "person", "n-1"),
+    ("edited", "person", "work", "1-n"),
+    ("wroteMusicFor", "person", "work", "1-n"),
+    ("hasCurrency", "country", "currency", "n-1"),
+    ("hasWebsite", "org", "website", "1-1"),
+    ("happenedIn", "event", "place", "n-1"),
+    ("hasChild", "person", "person", "1-n"),
+    ("isLeaderOf", "person", "org", "1-n"),
+    ("playsInstrument", "person", "instrument", "n-m"),
+    ("hasMusicalRole", "person", "role", "n-m"),
+]
+
+
+def yago3_like(scale: str | ScaleProfile = "small", seed: int = 37) -> Dataset:
+    """Build the YAGO3-10-like benchmark replica."""
+    profile = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    generated = GeneratedKG()
+
+    # -- the dominating near-duplicate pair ------------------------------------
+    num_players = max(60, profile.num_entities // 2)
+    num_clubs = max(10, profile.num_entities // 16)
+    players = [f"player_{i}" for i in range(num_players)]
+    clubs = [f"club_{i}" for i in range(num_clubs)]
+
+    plays_for: set[Tuple[str, str]] = set()
+    # The two duplicate relations must dominate the dataset (~65 % of the
+    # training triples in the real YAGO3-10), so their pair budget is several
+    # times the ordinary relations' budget.
+    target_pairs = max(250, profile.pair_budget * 5)
+    while len(plays_for) < target_pairs:
+        plays_for.add(
+            (
+                players[int(rng.integers(num_players))],
+                clubs[int(rng.integers(num_clubs))],
+            )
+        )
+    plays_for_list = list(plays_for)
+    # isAffiliatedTo subsumes playsFor: it repeats ~87 % of playsFor's pairs and
+    # adds affiliations of its own (staff, national sides) on top.
+    shared = plays_for_list[: int(round(0.87 * len(plays_for_list)))]
+    extra_affiliations: set[Tuple[str, str]] = set()
+    while len(extra_affiliations) < max(20, len(plays_for_list) // 4):
+        pair = (
+            players[int(rng.integers(num_players))],
+            clubs[int(rng.integers(num_clubs))],
+        )
+        if pair not in plays_for:
+            extra_affiliations.add(pair)
+
+    for h, t in plays_for_list:
+        generated.triples.append((h, "playsFor", t))
+    for h, t in shared:
+        generated.triples.append((h, "isAffiliatedTo", t))
+    for h, t in extra_affiliations:
+        generated.triples.append((h, "isAffiliatedTo", t))
+    generated.provenance["playsFor"] = RelationProvenance(
+        name="playsFor", kind="duplicate_pair", duplicate_of="isAffiliatedTo"
+    )
+    generated.provenance["isAffiliatedTo"] = RelationProvenance(
+        name="isAffiliatedTo", kind="duplicate_pair", duplicate_of="playsFor"
+    )
+
+    # -- symmetric relations ------------------------------------------------------
+    people_and_places = players + [f"place_{i}" for i in range(max(20, num_clubs * 2))]
+    for relation in SYMMETRIC_RELATIONS:
+        pairs: set[Tuple[str, str]] = set()
+        count = max(20, profile.pair_budget // 3)
+        while len(pairs) < count:
+            a = people_and_places[int(rng.integers(len(people_and_places)))]
+            b = people_and_places[int(rng.integers(len(people_and_places)))]
+            if a != b and (b, a) not in pairs:
+                pairs.add((a, b))
+        for a, b in pairs:
+            generated.triples.append((a, relation, b))
+            generated.triples.append((b, relation, a))
+        generated.provenance[relation] = RelationProvenance(
+            name=relation, kind="symmetric", symmetric=True
+        )
+
+    # -- ordinary relations -------------------------------------------------------
+    num_ordinary = min(len(ORDINARY_RELATIONS), 8 + profile.num_normal_families * 3)
+    builder = SyntheticKGBuilder(num_entities=profile.num_entities, seed=seed + 1)
+    specs = [
+        RelationSpec(
+            name=name,
+            kind="normal",
+            num_pairs=max(15, profile.pair_budget // 3),
+            cardinality=cardinality,
+            subject_pool=max(20, profile.pair_budget // 2),
+            object_pool=max(5, profile.pair_budget // 8),
+            subject_prefix=f"{subject_type}_",
+            object_prefix=f"{object_type}_",
+        )
+        for name, subject_type, object_type, cardinality in ORDINARY_RELATIONS[:num_ordinary]
+    ]
+    generated.extend(builder.build(specs))
+
+    return assemble_dataset(
+        name="YAGO3-10-like",
+        generated=generated,
+        seed=seed,
+        # YAGO3-10 puts ~99 % of the triples into training; a slightly larger
+        # test share is kept here so the scaled-down test set stays usable.
+        fractions=(0.92, 0.04, 0.04),
+        source="yago-simulation",
+        notes={
+            "description": "structural replica of YAGO3-10: isAffiliatedTo/playsFor "
+            "near-duplicates dominating the triple count, three symmetric relations, "
+            "ordinary relation tail",
+        },
+    )

@@ -1,0 +1,142 @@
+"""The shared interface of every knowledge-graph embedding model.
+
+All ten models evaluated in the paper (Tables 5, 6, 11, 13) expose the same
+surface so that the trainer, the evaluator and the per-relation analysis never
+special-case a model:
+
+* ``score_triples(h, r, t)`` — a differentiable plausibility score for a batch
+  of triples; **higher means more plausible** for every model (distance-based
+  models return negated distances).
+* ``score_all_tails(h, r)`` / ``score_all_heads(r, t)`` — the full candidate
+  ranking vectors the link-prediction protocol needs.
+* ``parameters()`` — the trainable :class:`~repro.autodiff.tensor.Parameter`
+  objects for the optimizer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autodiff import Parameter, Tensor
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters shared by every model.
+
+    ``extra`` carries model-specific settings (e.g. relation dimension for
+    TransR, number of convolution filters for ConvE) so experiment configs can
+    stay declarative.
+    """
+
+    dim: int = 32
+    seed: int = 0
+    margin: float = 1.0
+    regularization: float = 0.0
+    loss: str = "default"
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class KGEModel(ABC):
+    """Abstract base of all embedding models.
+
+    Sub-classes register their trainable tensors through
+    :meth:`register_parameter` and implement :meth:`score_triples`.
+    """
+
+    #: Loss family the trainer uses unless the config overrides it:
+    #: ``"margin"`` (ranking loss on positive/negative pairs) or ``"bce"``
+    #: (logistic / binary cross-entropy on labelled triples).
+    default_loss: str = "margin"
+
+    #: Whether entity embeddings should be L2-normalized after each update
+    #: (the constraint used by the translational family).
+    normalize_entities: bool = False
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        if num_entities <= 0 or num_relations <= 0:
+            raise ValueError("model needs at least one entity and one relation")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.config = config or ModelConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self._parameters: Dict[str, Parameter] = {}
+        self.training = True
+
+    # -- parameter registry -------------------------------------------------
+    def register_parameter(self, name: str, values: np.ndarray) -> Parameter:
+        parameter = Parameter(values, name=name)
+        self._parameters[name] = parameter
+        return parameter
+
+    def parameters(self) -> Dict[str, Parameter]:
+        return dict(self._parameters)
+
+    def zero_grad(self) -> None:
+        for parameter in self._parameters.values():
+            parameter.zero_grad()
+
+    def train_mode(self, enabled: bool = True) -> None:
+        self.training = enabled
+
+    # -- initialization helpers -----------------------------------------------
+    def uniform_init(self, *shape: int, scale: Optional[float] = None) -> np.ndarray:
+        """Xavier-style uniform initialization used by most of the models."""
+        if scale is None:
+            scale = 6.0 / np.sqrt(shape[-1])
+        return self.rng.uniform(-scale, scale, size=shape)
+
+    def normal_init(self, *shape: int, std: float = 0.1) -> np.ndarray:
+        return self.rng.normal(0.0, std, size=shape)
+
+    # -- scoring -------------------------------------------------------------------
+    @abstractmethod
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        """Differentiable scores of a batch of triples (higher = more plausible)."""
+
+    def score_triples_np(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        """Plain-numpy scores (no gradient bookkeeping kept by the caller)."""
+        return self.score_triples(np.asarray(heads), np.asarray(relations), np.asarray(tails)).data
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """Scores of ``(head, relation, t)`` for every entity ``t``."""
+        candidates = np.arange(self.num_entities)
+        heads = np.full(self.num_entities, head, dtype=np.int64)
+        relations = np.full(self.num_entities, relation, dtype=np.int64)
+        return self.score_triples_np(heads, relations, candidates)
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
+        """Scores of ``(h, relation, tail)`` for every entity ``h``."""
+        candidates = np.arange(self.num_entities)
+        relations = np.full(self.num_entities, relation, dtype=np.int64)
+        tails = np.full(self.num_entities, tail, dtype=np.int64)
+        return self.score_triples_np(candidates, relations, tails)
+
+    # -- constraints ------------------------------------------------------------------
+    def apply_constraints(self) -> None:
+        """Hook applied after every optimizer step (e.g. entity normalization)."""
+        if self.normalize_entities and "entity" in self._parameters:
+            embeddings = self._parameters["entity"].data
+            norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+            np.divide(embeddings, np.maximum(norms, 1.0), out=embeddings)
+
+    # -- presentation --------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (for reporting model sizes)."""
+        return int(sum(p.data.size for p in self._parameters.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.name}(entities={self.num_entities}, relations={self.num_relations}, "
+            f"dim={self.config.dim}, parameters={self.num_parameters()})"
+        )

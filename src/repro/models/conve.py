@@ -1,0 +1,100 @@
+"""ConvE (Dettmers et al., 2018): 2D-convolutional knowledge graph embeddings.
+
+The head and relation embeddings are reshaped into 2D grids, stacked, passed
+through a 2D convolution and a fully connected projection, and the resulting
+vector is matched against the tail embedding with a dot product plus a
+per-entity bias.  Compared to the original implementation, batch
+normalization is omitted (documented substitution: it mainly accelerates
+convergence and our training runs are small) while dropout is kept.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, conv2d
+from .base import KGEModel, ModelConfig
+
+
+class ConvE(KGEModel):
+    """ConvE with a single valid-convolution layer and a dense projection.
+
+    ``config.extra`` keys:
+
+    ``embedding_height`` / ``embedding_width``
+        The 2D reshape of the embedding (their product must equal ``dim``).
+    ``num_filters``
+        Convolution output channels (default 8).
+    ``kernel_size``
+        Square kernel size (default 3).
+    ``dropout``
+        Dropout rate applied to the hidden representation while training.
+    """
+
+    default_loss = "bce"
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.height = int(self.config.extra.get("embedding_height", 4))
+        self.width = int(self.config.extra.get("embedding_width", dim // self.height))
+        if self.height * self.width != dim:
+            raise ValueError(
+                f"embedding_height * embedding_width must equal dim "
+                f"({self.height} * {self.width} != {dim})"
+            )
+        self.num_filters = int(self.config.extra.get("num_filters", 8))
+        self.kernel_size = int(self.config.extra.get("kernel_size", 3))
+        self.dropout_rate = float(self.config.extra.get("dropout", 0.1))
+
+        stacked_height = 2 * self.height
+        conv_out_h = stacked_height - self.kernel_size + 1
+        conv_out_w = self.width - self.kernel_size + 1
+        if conv_out_h <= 0 or conv_out_w <= 0:
+            raise ValueError("kernel_size too large for the embedding reshape")
+        self.flat_size = self.num_filters * conv_out_h * conv_out_w
+
+        self.entity = self.register_parameter("entity", self.normal_init(num_entities, dim, std=0.3))
+        self.relation = self.register_parameter("relation", self.normal_init(num_relations, dim, std=0.3))
+        self.conv_weight = self.register_parameter(
+            "conv_weight",
+            self.normal_init(self.num_filters, 1, self.kernel_size, self.kernel_size, std=0.2),
+        )
+        self.conv_bias = self.register_parameter("conv_bias", np.zeros(self.num_filters))
+        self.fc_weight = self.register_parameter(
+            "fc_weight", self.normal_init(dim, self.flat_size, std=np.sqrt(2.0 / self.flat_size))
+        )
+        self.fc_bias = self.register_parameter("fc_bias", np.zeros(dim))
+        self.entity_bias = self.register_parameter("entity_bias", np.zeros(num_entities))
+
+    # -- internals ----------------------------------------------------------------
+    def _hidden(self, heads: np.ndarray, relations: np.ndarray) -> Tensor:
+        """The ConvE hidden vector for each (head, relation) query."""
+        batch = len(heads)
+        h = self.entity.gather(heads).reshape(batch, 1, self.height, self.width)
+        r = self.relation.gather(relations).reshape(batch, 1, self.height, self.width)
+        stacked = h.concat([r], axis=2)                       # (b, 1, 2*height, width)
+        features = conv2d(stacked, self.conv_weight, self.conv_bias).relu()
+        flat = features.reshape(batch, self.flat_size)
+        flat = flat.dropout(self.dropout_rate, self.rng, training=self.training)
+        hidden = (flat @ self.fc_weight.transpose()) + self.fc_bias
+        return hidden.relu()
+
+    # -- scoring -------------------------------------------------------------------
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        hidden = self._hidden(np.asarray(heads), np.asarray(relations))
+        t = self.entity.gather(tails)
+        bias = self.entity_bias.gather(tails)
+        return (hidden * t).sum(axis=-1) + bias
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """1-N scoring: compute the hidden vector once, match every entity."""
+        was_training = self.training
+        self.training = False
+        try:
+            hidden = self._hidden(np.array([head]), np.array([relation])).data[0]
+        finally:
+            self.training = was_training
+        return self.entity.data @ hidden + self.entity_bias.data

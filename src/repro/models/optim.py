@@ -1,0 +1,111 @@
+"""Optimizers for the embedding models (SGD, Adagrad, Adam).
+
+The original codebases the paper benchmarks (OpenKE, ConvE, RotatE, TuckER)
+use SGD, Adagrad or Adam depending on the model; the same three are provided
+here, operating on the :class:`~repro.autodiff.tensor.Parameter` dictionaries
+exposed by :class:`~repro.models.base.KGEModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..autodiff import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a named parameter dictionary."""
+
+    def __init__(self, parameters: Dict[str, Parameter], learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = dict(parameters)
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters.values():
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        for name, parameter in self.parameters.items():
+            if parameter.grad is None:
+                continue
+            self._update(name, parameter)
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        parameter.data -= self.learning_rate * parameter.grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad with per-parameter accumulated squared gradients."""
+
+    def __init__(
+        self, parameters: Dict[str, Parameter], learning_rate: float = 0.1, epsilon: float = 1e-10
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.epsilon = epsilon
+        self._accumulators = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        accumulator = self._accumulators[name]
+        accumulator += parameter.grad ** 2
+        parameter.data -= self.learning_rate * parameter.grad / (np.sqrt(accumulator) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Dict[str, Parameter],
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
+        self._second_moment = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        super().step()
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        gradient = parameter.grad
+        m = self._first_moment[name]
+        v = self._second_moment[name]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * gradient
+        v *= self.beta2
+        v += (1.0 - self.beta2) * gradient ** 2
+        m_hat = m / (1.0 - self.beta1 ** self._step_count)
+        v_hat = v / (1.0 - self.beta2 ** self._step_count)
+        parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def make_optimizer(
+    name: str, parameters: Dict[str, Parameter], learning_rate: float
+) -> Optimizer:
+    """Factory resolving an optimizer name used in trainer configs."""
+    lowered = name.lower()
+    if lowered == "sgd":
+        return SGD(parameters, learning_rate)
+    if lowered == "adagrad":
+        return Adagrad(parameters, learning_rate)
+    if lowered == "adam":
+        return Adam(parameters, learning_rate)
+    raise ValueError(f"unknown optimizer: {name!r}")

@@ -1,0 +1,62 @@
+"""Model registry: resolve the paper's model names into classes and instances."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from .base import KGEModel, ModelConfig
+from .conve import ConvE
+from .factorization import ComplEx, DistMult, RESCAL, TuckER
+from .translational import RotatE, TransD, TransE, TransH, TransR
+
+#: Canonical model names as the paper spells them, mapped to classes.
+MODEL_REGISTRY: Dict[str, Type[KGEModel]] = {
+    "TransE": TransE,
+    "TransH": TransH,
+    "TransR": TransR,
+    "TransD": TransD,
+    "RESCAL": RESCAL,
+    "DistMult": DistMult,
+    "ComplEx": ComplEx,
+    "ConvE": ConvE,
+    "RotatE": RotatE,
+    "TuckER": TuckER,
+}
+
+#: The six representative models the paper uses in Figure 1 and most analyses.
+CORE_MODELS: List[str] = ["TransE", "DistMult", "ComplEx", "ConvE", "RotatE", "TuckER"]
+
+#: The full lineup of Tables 5 and 6 (excluding AMIE, which is not an embedding model).
+ALL_EMBEDDING_MODELS: List[str] = list(MODEL_REGISTRY)
+
+
+class UnknownModelError(KeyError):
+    """Raised when a model name is not in the registry."""
+
+
+def resolve_model_class(name: str) -> Type[KGEModel]:
+    """Case-insensitive lookup of a model class by its paper name."""
+    for canonical, model_class in MODEL_REGISTRY.items():
+        if canonical.lower() == name.lower():
+            return model_class
+    raise UnknownModelError(
+        f"unknown model {name!r}; known models: {', '.join(MODEL_REGISTRY)}"
+    )
+
+
+def make_model(
+    name: str,
+    num_entities: int,
+    num_relations: int,
+    config: Optional[ModelConfig] = None,
+) -> KGEModel:
+    """Instantiate a model by name."""
+    model_class = resolve_model_class(name)
+    return model_class(num_entities, num_relations, config)
+
+
+def available_models(subset: Optional[Iterable[str]] = None) -> List[str]:
+    """Validate and canonicalize a model-name subset (default: all models)."""
+    if subset is None:
+        return list(MODEL_REGISTRY)
+    return [resolve_model_class(name).__name__ for name in subset]

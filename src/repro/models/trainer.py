@@ -1,0 +1,135 @@
+"""The shared training loop used for every embedding model.
+
+The paper trains every model with negative sampling over the training split
+(Section 2.1): each positive triple is paired with corrupted triples and the
+model's loss (margin ranking, logistic, or self-adversarial) is minimized by a
+stochastic optimizer.  :class:`Trainer` implements that loop on top of the
+autodiff engine; it is deliberately model-agnostic so the experiment drivers
+can sweep over the whole model zoo with a single configuration object.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..kg.dataset import Dataset
+from ..kg.sampling import BernoulliNegativeSampler, UniformNegativeSampler
+from .base import KGEModel
+from .losses import make_loss
+from .optim import make_optimizer
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 60
+    batch_size: int = 512
+    learning_rate: float = 0.05
+    optimizer: str = "adam"
+    num_negatives: int = 4
+    loss: str = "default"
+    margin: float = 1.0
+    sampler: str = "bernoulli"
+    seed: int = 0
+    verbose: bool = False
+    log_every: int = 10
+
+
+@dataclass
+class TrainingResult:
+    """Summary of a completed training run."""
+
+    model_name: str
+    dataset_name: str
+    epoch_losses: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.epoch_losses)
+
+
+class Trainer:
+    """Trains one :class:`~repro.models.base.KGEModel` on one dataset."""
+
+    def __init__(self, model: KGEModel, dataset: Dataset, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        loss_name = self.config.loss
+        if loss_name == "default":
+            loss_name = model.default_loss
+        self.loss_fn = make_loss(loss_name, margin=self.config.margin)
+
+        sampler_class = (
+            BernoulliNegativeSampler if self.config.sampler == "bernoulli" else UniformNegativeSampler
+        )
+        self.sampler = sampler_class(
+            dataset.train,
+            num_entities=dataset.num_entities,
+            rng=np.random.default_rng(self.config.seed + 1),
+            filtered=True,
+        )
+        self.optimizer = make_optimizer(
+            self.config.optimizer, model.parameters(), self.config.learning_rate
+        )
+
+    # -- the loop -----------------------------------------------------------------
+    def train(self) -> TrainingResult:
+        """Run the configured number of epochs and return the loss curve."""
+        train_array = self.dataset.train.to_array()
+        result = TrainingResult(model_name=self.model.name, dataset_name=self.dataset.name)
+        started = time.perf_counter()
+        self.model.train_mode(True)
+
+        for epoch in range(self.config.epochs):
+            order = self.rng.permutation(len(train_array))
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, len(order), self.config.batch_size):
+                batch = train_array[order[start:start + self.config.batch_size]]
+                epoch_loss += self._train_batch(batch)
+                num_batches += 1
+            mean_loss = epoch_loss / max(1, num_batches)
+            result.epoch_losses.append(mean_loss)
+            if self.config.verbose and (epoch + 1) % self.config.log_every == 0:
+                elapsed = time.perf_counter() - started
+                print(
+                    f"[{self.model.name} on {self.dataset.name}] "
+                    f"epoch {epoch + 1}/{self.config.epochs} loss={mean_loss:.4f} ({elapsed:.1f}s)"
+                )
+
+        self.model.train_mode(False)
+        result.seconds = time.perf_counter() - started
+        return result
+
+    def _train_batch(self, batch: np.ndarray) -> float:
+        negatives, positive_index = self.sampler.sample(batch, self.config.num_negatives)
+        positive_scores = self.model.score_triples(batch[:, 0], batch[:, 1], batch[:, 2])
+        negative_scores = self.model.score_triples(
+            negatives[:, 0], negatives[:, 1], negatives[:, 2]
+        )
+        loss = self.loss_fn(positive_scores, negative_scores, positive_index)
+        self.model.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        self.model.apply_constraints()
+        return float(loss.item())
+
+
+def train_model(
+    model: KGEModel, dataset: Dataset, config: Optional[TrainingConfig] = None
+) -> TrainingResult:
+    """Convenience wrapper: construct a :class:`Trainer` and run it."""
+    return Trainer(model, dataset, config).train()

@@ -1,0 +1,196 @@
+"""The translational model family: TransE, TransH, TransR, TransD, RotatE.
+
+These models represent a relation as a geometric transformation between the
+head and the tail embedding and score a triple by the (negated) distance
+between the transformed head and the tail.  They are trained with the
+margin-ranking loss in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .base import KGEModel, ModelConfig
+
+
+class TransE(KGEModel):
+    """Bordes et al. (2013): ``f(h, r, t) = -|| h + r - t ||_p``.
+
+    ``config.extra["norm"]`` selects the L1 (default) or L2 distance, matching
+    the ℓ1/ℓ2 choice in the original paper.
+    """
+
+    default_loss = "margin"
+    normalize_entities = True
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.entity = self.register_parameter("entity", self.uniform_init(num_entities, dim))
+        self.relation = self.register_parameter("relation", self.uniform_init(num_relations, dim))
+        self.norm = int(self.config.extra.get("norm", 1))
+
+    def _distance(self, delta: Tensor) -> Tensor:
+        if self.norm == 1:
+            return delta.abs().sum(axis=-1)
+        return (delta ** 2).sum(axis=-1).sqrt()
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        h = self.entity.gather(heads)
+        r = self.relation.gather(relations)
+        t = self.entity.gather(tails)
+        return -self._distance(h + r - t)
+
+
+class TransH(KGEModel):
+    """Wang et al. (2014): translation on a relation-specific hyperplane.
+
+    Entities are projected onto the hyperplane with normal ``w_r`` before the
+    TransE-style translation by ``d_r``: ``h_⊥ = h - (w_r·h) w_r``.
+    """
+
+    default_loss = "margin"
+    normalize_entities = True
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.entity = self.register_parameter("entity", self.uniform_init(num_entities, dim))
+        self.relation = self.register_parameter("relation", self.uniform_init(num_relations, dim))
+        self.normal = self.register_parameter("normal", self.normal_init(num_relations, dim, std=0.3))
+
+    def _project(self, vectors: Tensor, normals: Tensor) -> Tensor:
+        component = (vectors * normals).sum(axis=-1, keepdims=True)
+        return vectors - component * normals
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        h = self.entity.gather(heads)
+        t = self.entity.gather(tails)
+        d_r = self.relation.gather(relations)
+        w_r = self.normal.gather(relations)
+        # Keep the hyperplane normals approximately unit-length by scaling with
+        # their current norm (a soft version of the original hard constraint).
+        norm = ((w_r ** 2).sum(axis=-1, keepdims=True) + 1e-12).sqrt()
+        w_r = w_r / norm
+        delta = self._project(h, w_r) + d_r - self._project(t, w_r)
+        return -delta.abs().sum(axis=-1)
+
+
+class TransR(KGEModel):
+    """Lin et al. (2015): entities and relations live in different spaces.
+
+    Each relation owns a projection matrix ``M_r ∈ R^{k×d}`` mapping entity
+    embeddings (dimension ``d``) into the relation space (dimension ``k``)
+    before the translation.  ``config.extra["relation_dim"]`` sets ``k``
+    (defaults to ``dim``).
+    """
+
+    default_loss = "margin"
+    normalize_entities = True
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.relation_dim = int(self.config.extra.get("relation_dim", dim))
+        self.entity = self.register_parameter("entity", self.uniform_init(num_entities, dim))
+        self.relation = self.register_parameter(
+            "relation", self.uniform_init(num_relations, self.relation_dim)
+        )
+        # Initialize every projection near the identity so early training
+        # behaves like TransE, as recommended by the original paper.
+        identity_like = np.tile(
+            np.eye(self.relation_dim, dim).reshape(1, self.relation_dim, dim),
+            (num_relations, 1, 1),
+        )
+        noise = self.normal_init(num_relations, self.relation_dim, dim, std=0.05)
+        self.projection = self.register_parameter("projection", identity_like + noise)
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        h = self.entity.gather(heads).reshape(len(heads), -1, 1)
+        t = self.entity.gather(tails).reshape(len(tails), -1, 1)
+        r = self.relation.gather(relations)
+        m_r = self.projection.gather(relations)          # (batch, k, d)
+        h_proj = (m_r @ h).reshape(len(heads), self.relation_dim)
+        t_proj = (m_r @ t).reshape(len(tails), self.relation_dim)
+        return -(h_proj + r - t_proj).abs().sum(axis=-1)
+
+
+class TransD(KGEModel):
+    """Ji et al. (2015): dynamic per entity-relation projection vectors.
+
+    The projection matrix of TransR is decomposed into the outer product of a
+    relation projection vector and an entity projection vector plus the
+    identity, which reduces to ``h_⊥ = h + (h_p · h) r_p`` when entity and
+    relation spaces share a dimension.
+    """
+
+    default_loss = "margin"
+    normalize_entities = True
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.entity = self.register_parameter("entity", self.uniform_init(num_entities, dim))
+        self.relation = self.register_parameter("relation", self.uniform_init(num_relations, dim))
+        self.entity_proj = self.register_parameter("entity_proj", self.normal_init(num_entities, dim, std=0.2))
+        self.relation_proj = self.register_parameter("relation_proj", self.normal_init(num_relations, dim, std=0.2))
+
+    def _project(self, vectors: Tensor, vector_proj: Tensor, relation_proj: Tensor) -> Tensor:
+        component = (vector_proj * vectors).sum(axis=-1, keepdims=True)
+        return vectors + component * relation_proj
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        h = self.entity.gather(heads)
+        t = self.entity.gather(tails)
+        r = self.relation.gather(relations)
+        h_p = self.entity_proj.gather(heads)
+        t_p = self.entity_proj.gather(tails)
+        r_p = self.relation_proj.gather(relations)
+        delta = self._project(h, h_p, r_p) + r - self._project(t, t_p, r_p)
+        return -delta.abs().sum(axis=-1)
+
+
+class RotatE(KGEModel):
+    """Sun et al. (2019): relations as rotations in the complex plane.
+
+    Entities are complex vectors (stored as concatenated real and imaginary
+    halves); a relation is a vector of phases.  The score is the negated L2
+    distance ``-|| h ∘ r - t ||`` where ``∘`` is the complex Hadamard product
+    with the unit-modulus rotation ``r = e^{iθ}``.
+    """
+
+    default_loss = "self_adversarial"
+    normalize_entities = False
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(num_entities, num_relations, config)
+        dim = self.config.dim
+        self.entity_re = self.register_parameter("entity_re", self.uniform_init(num_entities, dim, scale=0.5))
+        self.entity_im = self.register_parameter("entity_im", self.uniform_init(num_entities, dim, scale=0.5))
+        # Phases are stored directly; cos/sin are recomputed per batch.
+        self.phase = self.register_parameter(
+            "phase", self.rng.uniform(-np.pi, np.pi, size=(num_relations, dim))
+        )
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        h_re = self.entity_re.gather(heads)
+        h_im = self.entity_im.gather(heads)
+        t_re = self.entity_re.gather(tails)
+        t_im = self.entity_im.gather(tails)
+        phases = self.phase.gather(relations)
+        cos_r = phases.cos()
+        sin_r = phases.sin()
+        rotated_re = h_re * cos_r - h_im * sin_r
+        rotated_im = h_re * sin_r + h_im * cos_r
+        delta_sq = (rotated_re - t_re) ** 2 + (rotated_im - t_im) ** 2
+        distance = (delta_sq.sum(axis=-1) + 1e-12).sqrt()
+        return -distance
+
+    def apply_constraints(self) -> None:
+        # Keep phases within (-π, π] for interpretability; entity embeddings
+        # are unconstrained as in the original model.
+        np.mod(self.phase.data + np.pi, 2 * np.pi, out=self.phase.data)
+        self.phase.data -= np.pi

@@ -1,0 +1,17 @@
+"""Observed-feature models: AMIE-style rule mining and rule-based prediction."""
+
+from .rule import Atom, Rule, X, Y, Z
+from .amie import AmieConfig, AmieMiner, MiningReport
+from .predictor import RuleBasedPredictor
+
+__all__ = [
+    "Atom",
+    "Rule",
+    "X",
+    "Y",
+    "Z",
+    "AmieConfig",
+    "AmieMiner",
+    "MiningReport",
+    "RuleBasedPredictor",
+]

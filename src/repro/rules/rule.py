@@ -1,0 +1,111 @@
+"""Horn-rule data structures for the observed-feature (AMIE-style) model.
+
+A rule is written ``B1 ∧ B2 ∧ … ∧ Bn ⇒ H`` where every atom ``r(x, y)`` is a
+relation applied to two variables.  The miner in :mod:`repro.rules.amie`
+restricts itself to the closed, connected rules of body length 1 and 2 that
+AMIE mines and that the paper's prediction protocol uses:
+
+* ``r1(x, y) ⇒ r2(x, y)``        (same-direction implication — duplicates)
+* ``r1(y, x) ⇒ r2(x, y)``        (inverse implication — reverse relations)
+* ``r1(x, z) ∧ r2(z, y) ⇒ r3(x, y)``   (composition / path rule)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Variable names used in rule atoms.
+X, Y, Z = "?x", "?y", "?z"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom ``relation(subject, object)`` with variable arguments."""
+
+    relation: int
+    subject: str
+    object: str
+
+    def variables(self) -> Tuple[str, ...]:
+        return (self.subject, self.object)
+
+    def render(self, relation_name: str | None = None) -> str:
+        name = relation_name if relation_name is not None else f"r{self.relation}"
+        return f"{name}({self.subject}, {self.object})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A mined Horn rule with its quality statistics.
+
+    Attributes
+    ----------
+    body:
+        The body atoms (1 or 2 of them).
+    head:
+        The head atom; its relation is the relation the rule predicts.
+    support:
+        Number of (x, y) bindings for which both body and head hold.
+    body_size:
+        Number of (x, y) bindings for which the body holds.
+    pca_body_size:
+        Number of body bindings whose subject x has *some* head-relation fact
+        (the denominator of AMIE's partial-completeness-assumption confidence).
+    head_size:
+        Number of instance triples of the head relation.
+    """
+
+    body: Tuple[Atom, ...]
+    head: Atom
+    support: int
+    body_size: int
+    pca_body_size: int
+    head_size: int
+
+    # -- quality measures ------------------------------------------------------
+    @property
+    def std_confidence(self) -> float:
+        """support / #body instantiations (closed-world confidence)."""
+        return self.support / self.body_size if self.body_size else 0.0
+
+    @property
+    def pca_confidence(self) -> float:
+        """AMIE's PCA confidence: support / #body instantiations with a known head."""
+        return self.support / self.pca_body_size if self.pca_body_size else 0.0
+
+    @property
+    def head_coverage(self) -> float:
+        """support / |head relation| — how much of the head relation the rule explains."""
+        return self.support / self.head_size if self.head_size else 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.body)
+
+    # -- classification ---------------------------------------------------------
+    @property
+    def is_inverse_rule(self) -> bool:
+        """True for ``r1(y, x) ⇒ r2(x, y)`` — the reverse-relation pattern."""
+        if len(self.body) != 1:
+            return False
+        atom = self.body[0]
+        return atom.subject == self.head.object and atom.object == self.head.subject
+
+    @property
+    def is_same_direction_rule(self) -> bool:
+        """True for ``r1(x, y) ⇒ r2(x, y)`` — the duplicate-relation pattern."""
+        if len(self.body) != 1:
+            return False
+        atom = self.body[0]
+        return atom.subject == self.head.subject and atom.object == self.head.object
+
+    def render(self, relation_names=None) -> str:
+        """Human-readable form, optionally with relation labels."""
+        def name(relation: int) -> str | None:
+            if relation_names is None:
+                return None
+            return relation_names(relation) if callable(relation_names) else relation_names[relation]
+
+        body_text = " ∧ ".join(atom.render(name(atom.relation)) for atom in self.body)
+        return f"{body_text} ⇒ {self.head.render(name(self.head.relation))}"

@@ -1,0 +1,131 @@
+"""Tests for the functional layer: conv2d, losses, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Parameter,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    conv2d,
+    linear,
+    logsigmoid,
+    margin_ranking_loss,
+    numerical_gradient,
+    stack_rows,
+)
+
+
+def test_logsigmoid_matches_reference():
+    x = Tensor(np.array([-50.0, -1.0, 0.0, 1.0, 50.0]))
+    expected = -np.logaddexp(0.0, -x.data)
+    np.testing.assert_allclose(logsigmoid(x).data, expected, atol=1e-9)
+
+
+def test_bce_with_logits_matches_reference():
+    logits_values = np.array([-2.0, -0.5, 0.0, 1.0, 3.0])
+    targets = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+    logits = Tensor(logits_values, requires_grad=True)
+    loss = binary_cross_entropy_with_logits(logits, targets)
+    probs = 1.0 / (1.0 + np.exp(-logits_values))
+    expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+    assert loss.item() == pytest.approx(expected, abs=1e-9)
+
+
+def test_bce_gradient_is_sigmoid_minus_target():
+    logits_values = np.array([0.3, -1.2, 2.0])
+    targets = np.array([1.0, 0.0, 1.0])
+    logits = Parameter(logits_values)
+    binary_cross_entropy_with_logits(logits, targets).backward()
+    probs = 1.0 / (1.0 + np.exp(-logits_values))
+    np.testing.assert_allclose(logits.grad, (probs - targets) / 3.0, atol=1e-9)
+
+
+def test_margin_ranking_loss_zero_when_margin_satisfied():
+    positive = Tensor(np.array([5.0, 4.0]), requires_grad=True)
+    negative = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+    loss = margin_ranking_loss(positive, negative, margin=1.0)
+    assert loss.item() == pytest.approx(0.0)
+
+
+def test_margin_ranking_loss_positive_when_violated():
+    positive = Tensor(np.array([1.0]), requires_grad=True)
+    negative = Tensor(np.array([1.5]), requires_grad=True)
+    loss = margin_ranking_loss(positive, negative, margin=1.0)
+    assert loss.item() == pytest.approx(1.5)
+
+
+def test_stack_rows():
+    rows = [Tensor(np.array([1.0, 2.0])), Tensor(np.array([3.0, 4.0]))]
+    stacked = stack_rows(rows)
+    np.testing.assert_allclose(stacked.data, [[1.0, 2.0], [3.0, 4.0]])
+    with pytest.raises(ValueError):
+        stack_rows([])
+
+
+def test_linear_matches_affine():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(5, 3)))
+    w = Tensor(rng.normal(size=(4, 3)))
+    b = Tensor(rng.normal(size=(4,)))
+    out = linear(x, w, b)
+    np.testing.assert_allclose(out.data, x.data @ w.data.T + b.data, atol=1e-12)
+
+
+# ------------------------------------------------------------------ conv2d
+def test_conv2d_forward_matches_naive():
+    rng = np.random.default_rng(1)
+    images = rng.normal(size=(2, 2, 5, 6))
+    kernels = rng.normal(size=(3, 2, 2, 3))
+    bias = rng.normal(size=(3,))
+    out = conv2d(Tensor(images), Tensor(kernels), Tensor(bias)).data
+    assert out.shape == (2, 3, 4, 4)
+    # Naive reference convolution.
+    for n in range(2):
+        for f in range(3):
+            for i in range(4):
+                for j in range(4):
+                    patch = images[n, :, i:i + 2, j:j + 3]
+                    expected = (patch * kernels[f]).sum() + bias[f]
+                    assert out[n, f, i, j] == pytest.approx(expected, abs=1e-9)
+
+
+def test_conv2d_gradients_match_finite_differences():
+    rng = np.random.default_rng(2)
+    images = rng.normal(size=(2, 1, 4, 5))
+    kernels = rng.normal(size=(2, 1, 2, 2))
+    bias = rng.normal(size=(2,))
+
+    image_tensor = Parameter(images.copy())
+    kernel_tensor = Parameter(kernels.copy())
+    bias_tensor = Parameter(bias.copy())
+    (conv2d(image_tensor, kernel_tensor, bias_tensor).relu() ** 2).sum().backward()
+
+    def loss_for_kernels(raw):
+        return float((np.maximum(conv2d(Tensor(images), Tensor(raw), Tensor(bias)).data, 0) ** 2).sum())
+
+    def loss_for_images(raw):
+        return float((np.maximum(conv2d(Tensor(raw), Tensor(kernels), Tensor(bias)).data, 0) ** 2).sum())
+
+    def loss_for_bias(raw):
+        return float((np.maximum(conv2d(Tensor(images), Tensor(kernels), Tensor(raw)).data, 0) ** 2).sum())
+
+    np.testing.assert_allclose(
+        kernel_tensor.grad, numerical_gradient(loss_for_kernels, kernels.copy()), atol=1e-4
+    )
+    np.testing.assert_allclose(
+        image_tensor.grad, numerical_gradient(loss_for_images, images.copy()), atol=1e-4
+    )
+    np.testing.assert_allclose(
+        bias_tensor.grad, numerical_gradient(loss_for_bias, bias.copy()), atol=1e-4
+    )
+
+
+def test_conv2d_rejects_channel_mismatch():
+    with pytest.raises(ValueError):
+        conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 2, 2))))
+
+
+def test_conv2d_rejects_oversized_kernel():
+    with pytest.raises(ValueError):
+        conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 3, 3))))

@@ -1,0 +1,86 @@
+"""Shared fixtures: tiny synthetic benchmarks and a handcrafted toy dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg import (
+    Dataset,
+    DatasetMetadata,
+    RelationProvenance,
+    TripleSet,
+    Vocabulary,
+    fb15k_like,
+    wn18_like,
+    yago3_like,
+)
+
+
+@pytest.fixture(scope="session")
+def fb_tiny_pair():
+    """The tiny FB15k-like benchmark and its simulated Freebase snapshot."""
+    return fb15k_like("tiny", seed=13)
+
+
+@pytest.fixture(scope="session")
+def fb_tiny(fb_tiny_pair) -> Dataset:
+    return fb_tiny_pair[0]
+
+
+@pytest.fixture(scope="session")
+def freebase_snapshot(fb_tiny_pair):
+    return fb_tiny_pair[1]
+
+
+@pytest.fixture(scope="session")
+def wn_tiny() -> Dataset:
+    return wn18_like("tiny", seed=16)
+
+
+@pytest.fixture(scope="session")
+def yago_tiny() -> Dataset:
+    return yago3_like("tiny", seed=21)
+
+
+@pytest.fixture()
+def toy_dataset() -> Dataset:
+    """A handcrafted 8-entity dataset with a known reverse pair and a symmetric relation.
+
+    Relations:
+      0 directed_by      (film -> person), reverse of 1
+      1 films_directed   (person -> film), reverse of 0
+      2 married_to       symmetric
+      3 born_in          plain n-1
+    Entities 0-3 are films/persons, 4-7 are persons/cities.
+    """
+    vocab = Vocabulary.from_labels(
+        [f"e{i}" for i in range(8)],
+        ["directed_by", "films_directed", "married_to", "born_in"],
+    )
+    train = TripleSet(
+        [
+            (0, 0, 4), (4, 1, 0),
+            (1, 0, 4), (4, 1, 1),
+            (2, 0, 5),
+            (4, 2, 5), (5, 2, 4),
+            (6, 2, 7), (7, 2, 6),
+            (0, 3, 6), (1, 3, 6), (2, 3, 7),
+        ]
+    )
+    valid = TripleSet([(3, 0, 5), (5, 1, 3)])
+    test = TripleSet([(3, 3, 7), (5, 1, 2)])
+    metadata = DatasetMetadata(
+        source="handcrafted",
+        relation_provenance={
+            "directed_by": RelationProvenance("directed_by", "reverse_pair", reverse_of="films_directed"),
+            "films_directed": RelationProvenance("films_directed", "reverse_pair", reverse_of="directed_by"),
+            "married_to": RelationProvenance("married_to", "symmetric", symmetric=True),
+            "born_in": RelationProvenance("born_in", "normal"),
+        },
+        reverse_property_pairs=[("directed_by", "films_directed")],
+    )
+    dataset = Dataset(
+        name="toy", vocab=vocab, train=train, valid=valid, test=test, metadata=metadata
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,188 @@
+"""Tests for the redundancy detectors and Cartesian-product analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CartesianProductPredictor,
+    analyse_redundancy,
+    cartesian_density,
+    find_cartesian_relations,
+    find_duplicate_relations,
+    find_reverse_duplicate_relations,
+    find_symmetric_relations,
+    relation_overlap,
+)
+from repro.kg import TripleSet
+
+
+# ------------------------------------------------------------------ handcrafted fixtures
+def reverse_pair_kg(n: int = 20) -> TripleSet:
+    """Relation 1 is the exact reverse of relation 0."""
+    triples = []
+    for i in range(n):
+        triples.append((i, 0, i + 100))
+        triples.append((i + 100, 1, i))
+    return TripleSet(triples)
+
+
+def duplicate_kg(overlap: int = 18, extra: int = 2) -> TripleSet:
+    """Relation 1 duplicates relation 0 on ``overlap`` of its pairs."""
+    triples = []
+    for i in range(overlap + extra):
+        triples.append((i, 0, i + 100))
+        if i < overlap:
+            triples.append((i, 1, i + 100))
+        else:
+            triples.append((i, 1, i + 200))
+    return TripleSet(triples)
+
+
+# ------------------------------------------------------------------ overlap / duplicates
+def test_relation_overlap_shares():
+    kg = duplicate_kg()
+    overlap = relation_overlap(kg, 0, 1)
+    assert overlap.overlap == 18
+    assert overlap.share_of_a == pytest.approx(0.9)
+    assert overlap.share_of_b == pytest.approx(0.9)
+    assert overlap.exceeds(0.8, 0.8)
+    assert not overlap.exceeds(0.95, 0.8)
+
+
+def test_find_duplicate_relations_detects_engineered_pair():
+    found = find_duplicate_relations(duplicate_kg())
+    assert len(found) == 1
+    pair = {found[0].relation_a, found[0].relation_b}
+    assert pair == {0, 1}
+
+
+def test_find_duplicate_relations_respects_thresholds():
+    assert find_duplicate_relations(duplicate_kg(), theta_1=0.95, theta_2=0.95) == []
+
+
+def test_find_reverse_duplicate_relations():
+    found = find_reverse_duplicate_relations(reverse_pair_kg())
+    assert len(found) == 1
+    assert found[0].reversed_b is True
+
+
+def test_find_symmetric_relations():
+    triples = []
+    for i in range(0, 20, 2):
+        triples.append((i, 0, i + 1))
+        triples.append((i + 1, 0, i))
+    triples.extend([(0, 1, 5), (2, 1, 7)])
+    symmetric = find_symmetric_relations(TripleSet(triples))
+    assert symmetric == [0]
+
+
+def test_analyse_redundancy_classifies_crisp_reverse_pairs():
+    report = analyse_redundancy(reverse_pair_kg())
+    assert len(report.reverse_pairs) == 1
+    assert report.reverse_duplicate_pairs == []
+    assert report.redundant_relations() == {0, 1}
+    partners = report.reverse_partners()
+    assert partners[0] == {1} and partners[1] == {0}
+
+
+def test_analyse_redundancy_keeps_loose_overlap_as_reverse_duplicate():
+    triples = []
+    for i in range(20):
+        triples.append((i, 0, i + 100))
+        if i < 17:
+            triples.append((i + 100, 1, i))
+        else:
+            triples.append((i + 100, 1, (i + 1) % 20))
+    report = analyse_redundancy(TripleSet(triples))
+    assert len(report.reverse_duplicate_pairs) == 1
+    assert report.reverse_pairs == []
+
+
+def test_detectors_against_generator_provenance(fb_tiny):
+    """Every relation the generator marked as a reverse pair must be detected."""
+    report = analyse_redundancy(fb_tiny.all_triples())
+    detected = report.redundant_relations()
+    for relation_id in range(fb_tiny.num_relations):
+        provenance = fb_tiny.provenance_of(relation_id)
+        if provenance.kind == "reverse_pair":
+            assert relation_id in detected, fb_tiny.relation_name(relation_id)
+
+
+# ------------------------------------------------------------------ Cartesian relations
+def cartesian_kg(subjects: int = 6, objects: int = 5, coverage: float = 1.0) -> TripleSet:
+    triples = []
+    cells = [(s, 100 + o) for s in range(subjects) for o in range(objects)]
+    keep = int(round(coverage * len(cells)))
+    for s, o in cells[:keep]:
+        triples.append((s, 0, o))
+    return TripleSet(triples)
+
+
+def test_cartesian_density_full_grid():
+    assert cartesian_density(cartesian_kg(), 0) == pytest.approx(1.0)
+    assert cartesian_density(TripleSet(), 0) == 0.0
+
+
+def test_find_cartesian_relations_detects_grid():
+    found = find_cartesian_relations(cartesian_kg(coverage=0.9))
+    assert [item.relation for item in found] == [0]
+    assert found[0].density > 0.8
+
+
+def test_find_cartesian_relations_rejects_sparse_and_degenerate():
+    assert find_cartesian_relations(cartesian_kg(coverage=0.4)) == []
+    # Single-object star relations are not Cartesian grids.
+    star = TripleSet([(i, 0, 99) for i in range(20)])
+    assert find_cartesian_relations(star) == []
+
+
+def test_find_cartesian_relations_in_fb_replica(fb_tiny):
+    detected = find_cartesian_relations(fb_tiny.all_triples(), density_threshold=0.75)
+    names = {fb_tiny.relation_name(item.relation) for item in detected}
+    assert any("climate" in name for name in names)
+    # Every detected relation must have been generated as Cartesian or be a
+    # dense grid by construction.
+    for item in detected:
+        provenance = fb_tiny.provenance_of(item.relation)
+        assert provenance.cartesian or item.density > 0.75
+
+
+def test_cartesian_predictor_scores_grid_members():
+    kg = cartesian_kg(coverage=0.9)
+    predictor = CartesianProductPredictor(kg, num_entities=120)
+    assert predictor.is_cartesian(0)
+    tail_scores = predictor.score_all_tails(0, 0)
+    assert tail_scores[100] > 0.9
+    assert tail_scores[50] < 0.5
+    head_scores = predictor.score_all_heads(0, 100)
+    assert head_scores[2] > 0.9
+
+
+def test_cartesian_predictor_fallback_for_normal_relations():
+    kg = TripleSet([(0, 0, 10), (1, 0, 11), (2, 0, 12), (3, 0, 13)])
+    predictor = CartesianProductPredictor(kg, num_entities=20)
+    assert not predictor.is_cartesian(0)
+    scores = predictor.score_all_tails(0, 0)
+    assert 0 < scores[10] <= 0.5
+    assert predictor.name == "CartesianProduct"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 8))
+def test_property_full_grid_is_always_detected(subjects, objects):
+    kg = cartesian_kg(subjects, objects, coverage=1.0)
+    found = find_cartesian_relations(kg)
+    assert [item.relation for item in found] == [0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3), st.integers(0, 15)), max_size=60))
+def test_property_overlap_shares_bounded(raw):
+    kg = TripleSet(raw)
+    relations = kg.relations
+    if len(relations) < 2:
+        return
+    overlap = relation_overlap(kg, relations[0], relations[1])
+    assert 0.0 <= overlap.share_of_a <= 1.0
+    assert 0.0 <= overlap.share_of_b <= 1.0

@@ -1,0 +1,52 @@
+"""Tests for the plain-text table rendering helpers."""
+
+from repro.core import format_cell, render_key_values, render_matrix, render_table
+
+
+def test_format_cell_variants():
+    assert format_cell(None) == "-"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell(0.12345) == "0.123"
+    assert format_cell(12.345) == "12.3"
+    assert format_cell(1234.5) == "1234"
+    assert format_cell(7) == "7"
+    assert format_cell("TransE") == "TransE"
+
+
+def test_render_table_alignment_and_content():
+    rows = [
+        {"model": "TransE", "FMRR": 0.391},
+        {"model": "ComplEx", "FMRR": 0.685},
+    ]
+    text = render_table(rows, title="Results")
+    lines = text.splitlines()
+    assert lines[0] == "Results"
+    assert "model" in lines[1] and "FMRR" in lines[1]
+    assert "TransE" in text and "0.685" in text
+    # All data lines share the header's width.
+    assert len(set(len(line) for line in lines[1:])) == 1
+
+
+def test_render_table_empty():
+    assert "(empty)" in render_table([], title="Nothing")
+
+
+def test_render_table_respects_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    text = render_table(rows, columns=["b"])
+    assert "b" in text and "a" not in text.splitlines()[0]
+
+
+def test_render_matrix():
+    matrix = {"TransE": {"1-1": 3, "n-m": 1}, "RotatE": {"1-1": 0, "n-m": 5}}
+    text = render_matrix(matrix, row_label="model", title="Wins")
+    assert "Wins" in text
+    assert "TransE" in text and "RotatE" in text
+    assert "1-1" in text and "n-m" in text
+
+
+def test_render_key_values():
+    text = render_key_values({"share": 0.7, "count": 12}, title="Stats")
+    assert text.splitlines()[0] == "Stats"
+    assert "share: 0.700" in text
+    assert "count: 12" in text

@@ -1,0 +1,100 @@
+"""Tests for the cross-model comparison analyses (Tables 7-10, Figures 5-8)."""
+
+import pytest
+
+from repro.eval import (
+    EvaluationResult,
+    RankRecord,
+    best_model_counts,
+    category_best_model_breakdown,
+    category_side_hits,
+    outperformance_redundancy_share,
+    per_relation_win_percentages,
+)
+
+
+def make_result(name, ranks):
+    """ranks: list of (h, r, t, side, filtered_rank)."""
+    result = EvaluationResult(model_name=name, dataset_name="synthetic")
+    for h, r, t, side, rank in ranks:
+        result.records.append(RankRecord(h, r, t, side, raw_rank=rank + 1, filtered_rank=rank))
+    return result
+
+
+@pytest.fixture()
+def two_model_results():
+    # Relation 0: model A is better; relation 1: model B is better.
+    a = make_result(
+        "A",
+        [
+            (0, 0, 1, "tail", 1), (2, 0, 3, "tail", 2),
+            (0, 1, 1, "tail", 8), (2, 1, 3, "tail", 9),
+        ],
+    )
+    b = make_result(
+        "B",
+        [
+            (0, 0, 1, "tail", 5), (2, 0, 3, "tail", 6),
+            (0, 1, 1, "tail", 1), (2, 1, 3, "tail", 2),
+        ],
+    )
+    return {"A": a, "B": b}
+
+
+def test_best_model_counts(two_model_results):
+    counts = best_model_counts(two_model_results, metrics=("FMRR", "FMR"))
+    assert counts["FMRR"]["A"] == 1
+    assert counts["FMRR"]["B"] == 1
+    assert counts["FMR"]["A"] == 1 and counts["FMR"]["B"] == 1
+
+
+def test_best_model_counts_ties_award_everyone():
+    a = make_result("A", [(0, 0, 1, "tail", 1)])
+    b = make_result("B", [(0, 0, 1, "tail", 1)])
+    counts = best_model_counts({"A": a, "B": b}, metrics=("FMRR",))
+    assert counts["FMRR"]["A"] == 1 and counts["FMRR"]["B"] == 1
+
+
+def test_best_model_counts_rejects_unknown_metric(two_model_results):
+    with pytest.raises(KeyError):
+        best_model_counts(two_model_results, metrics=("Bogus",))
+
+
+def test_per_relation_win_percentages(two_model_results):
+    matrix = per_relation_win_percentages(two_model_results)
+    assert matrix[0]["A"] == pytest.approx(100.0)
+    assert matrix[0]["B"] == pytest.approx(0.0)
+    assert matrix[1]["B"] == pytest.approx(100.0)
+
+
+def test_outperformance_redundancy_share():
+    baseline = make_result("TransE", [(0, 0, 1, "tail", 15), (2, 0, 3, "tail", 15)])
+    challenger = make_result("DistMult", [(0, 0, 1, "tail", 1), (2, 0, 3, "tail", 20)])
+    redundant = {(0, 0, 1)}
+    shares = outperformance_redundancy_share(
+        {"TransE": baseline, "DistMult": challenger}, "TransE", redundant, metrics=("FMRR", "FHits@10")
+    )
+    # DistMult improves only on (0,0,1), which is redundant → 100 %.
+    assert shares["DistMult"]["FMRR"] == pytest.approx(100.0)
+    assert shares["DistMult"]["FHits@10"] == pytest.approx(100.0)
+
+
+def test_outperformance_requires_baseline(two_model_results):
+    with pytest.raises(KeyError):
+        outperformance_redundancy_share(two_model_results, "Missing", set())
+
+
+def test_category_best_model_breakdown(two_model_results):
+    categories = {0: "1-1", 1: "n-m"}
+    breakdown = category_best_model_breakdown(two_model_results, categories)
+    assert breakdown["A"].get("1-1", 0) == 1
+    assert breakdown["B"].get("n-m", 0) == 1
+
+
+def test_category_side_hits(two_model_results):
+    categories = {0: "1-1", 1: "n-m"}
+    table = category_side_hits(two_model_results, categories)
+    assert table["A"]["1-1"]["tail"] == pytest.approx(100.0)
+    assert table["B"]["1-1"]["tail"] == pytest.approx(100.0)  # ranks 5 and 6 are ≤ 10
+    # No head-side records exist → NaN.
+    assert table["A"]["1-1"]["head"] != table["A"]["1-1"]["head"]

@@ -1,0 +1,242 @@
+"""Integration tests: the experiment drivers reproduce the paper's qualitative claims.
+
+A single session-scoped :class:`Workbench` is shared by every test so each
+(model, dataset) pair is trained exactly once with a deliberately small budget;
+the assertions target structure and direction (the paper's R1-R3 claims), not
+absolute accuracy values.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ALL_DATASETS,
+    EXPERIMENT_INDEX,
+    ExperimentConfig,
+    FB15K,
+    FB15K237,
+    WN18,
+    WN18RR,
+    Workbench,
+    ablation_thresholds,
+    figure1_overview,
+    figure2_mediators,
+    figure4_redundancy_pie,
+    figure5_6_per_relation_heatmap,
+    figure7_8_category_breakdown,
+    section42_leakage,
+    table1_statistics,
+    table2_cartesian_strength,
+    table3_cartesian_predictor,
+    table5_fb15k,
+    table6_wn18,
+    table7_outperform_redundancy,
+    table8_best_model_counts,
+    table9_10_12_category_hits,
+    table11_yago,
+    table13_hits1_simple_model,
+)
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    config = ExperimentConfig(
+        scale="tiny",
+        seed=13,
+        dim=16,
+        epochs=10,
+        num_negatives=2,
+        models=("TransE", "DistMult", "ComplEx", "RotatE"),
+        include_amie=True,
+    )
+    return Workbench(config)
+
+
+# ------------------------------------------------------------------ workbench mechanics
+def test_workbench_builds_all_six_datasets(workbench):
+    datasets = workbench.all_datasets()
+    assert set(datasets) == set(ALL_DATASETS)
+    assert len(datasets[FB15K237].train) < len(datasets[FB15K].train)
+    assert len(datasets[WN18RR].train) < len(datasets[WN18].train)
+
+
+def test_workbench_rejects_unknown_dataset(workbench):
+    with pytest.raises(KeyError):
+        workbench.dataset("FB15k-999")
+
+
+def test_workbench_caches_scorers_and_evaluations(workbench):
+    first = workbench.scorer("TransE", FB15K)
+    second = workbench.scorer("TransE", FB15K)
+    assert first is second
+    assert workbench.evaluation("TransE", FB15K) is workbench.evaluation("TransE", FB15K)
+
+
+def test_workbench_lineup_includes_amie(workbench):
+    lineup = workbench.lineup()
+    assert lineup[-1] == "AMIE"
+    assert "TransE" in lineup
+    assert "AMIE" not in workbench.lineup(include_amie=False)
+
+
+def test_experiment_index_is_complete():
+    assert len(EXPERIMENT_INDEX) >= 16
+    assert all(callable(driver) for driver in EXPERIMENT_INDEX.values())
+
+
+# ------------------------------------------------------------------ dataset-level drivers
+def test_table1_rows_cover_all_datasets(workbench):
+    result = table1_statistics(workbench)
+    assert len(result["rows"]) == 6
+    names = {row["Dataset"] for row in result["rows"]}
+    assert names == set(ALL_DATASETS)
+    assert "Table 1" in result["text"]
+
+
+def test_figure2_snapshot_statistics(workbench):
+    values = figure2_mediators(workbench)["values"]
+    assert values["triples adjacent to CVT nodes"] > 0
+    assert values["concatenated relations"] > 0
+    assert values["reverse_property pairs"] > 0
+    assert values["snapshot triples"] > values["FB15k-like triples"]
+
+
+def test_figure4_breakdown_sums_to_100_and_shows_leakage(workbench):
+    breakdown = figure4_redundancy_pie(workbench)["breakdown"]
+    assert sum(breakdown.values()) == pytest.approx(100.0)
+    # The dominant slices of the paper: reverse-in-train (1000) must be large.
+    assert breakdown.get("1000", 0.0) > 20.0
+
+
+def test_section42_leakage_shape(workbench):
+    rows = {row["dataset"]: row for row in section42_leakage(workbench)["rows"]}
+    assert rows[WN18]["train_reverse_share"] > rows[FB15K]["train_reverse_share"]
+    assert rows[FB15K]["test_reverse_in_train_share"] > 0.4
+
+
+def test_ablation_thresholds_monotone(workbench):
+    rows = ablation_thresholds(workbench)["rows"]
+    thetas = [row["theta"] for row in rows]
+    assert thetas == sorted(thetas)
+    detected = [row["duplicate_pairs"] + row["reverse_duplicate_pairs"] + row["reverse_pairs"] for row in rows]
+    # Lower thresholds can only detect at least as many pairs.
+    assert all(earlier >= later for earlier, later in zip(detected, detected[1:]))
+
+
+# ------------------------------------------------------------------ headline drivers
+def test_figure1_models_degrade_without_redundancy(workbench):
+    result = figure1_overview(workbench)
+    series = result["series"]
+    models = list(workbench.config.models)
+    fb_drops = [series[FB15K][m] - series[FB15K237][m] for m in models]
+    wn_drops = [series[WN18][m] - series[WN18RR][m] for m in models]
+    # R1: on average the models lose accuracy once redundancy is removed, and
+    # the effect is visible for the majority of models on each dataset family.
+    assert sum(fb_drops) > 0
+    assert sum(wn_drops) > 0
+    assert sum(1 for drop in wn_drops if drop > 0) >= len(models) - 1
+
+
+def test_table5_and_table6_have_full_lineups(workbench):
+    for driver, expected_datasets in (
+        (table5_fb15k, {"FB15k-like", "FB15k-237-like"}),
+        (table6_wn18, {"WN18-like", "WN18RR-like"}),
+    ):
+        rows = driver(workbench)["rows"]
+        assert {row["dataset"] for row in rows} == expected_datasets
+        assert {row["model"] for row in rows} == set(workbench.lineup())
+        for row in rows:
+            assert not math.isnan(row["FMRR"])
+            assert row["FMR"] >= 1.0
+
+
+def test_table11_yago_rows(workbench):
+    rows = table11_yago(workbench)["rows"]
+    assert {row["dataset"] for row in rows} == {"YAGO3-10-like", "YAGO3-10-like-DR"}
+
+
+def test_table13_simple_model_rivals_embeddings_on_redundant_data(workbench):
+    rows = {row["model"]: row for row in table13_hits1_simple_model(workbench)["rows"]}
+    assert "SimpleModel" in rows
+    simple = rows["SimpleModel"]
+    embedding_best_wn = max(
+        rows[m]["WN18-like"] for m in workbench.config.models
+    )
+    # A2: the statistics-based rule model is competitive on the leaky WN18.
+    assert simple["WN18-like"] >= embedding_best_wn - 10.0
+    # ... and collapses once the redundancy is removed.
+    assert simple["WN18RR-like"] <= simple["WN18-like"]
+
+
+# ------------------------------------------------------------------ Cartesian drivers
+def test_table2_reports_cartesian_relations(workbench):
+    result = table2_cartesian_strength(workbench)
+    assert result["relations"], "expected Cartesian relations in FB15k-237-like"
+
+
+def test_table3_cartesian_predictor_beats_transe_on_cartesian_relations(workbench):
+    rows = table3_cartesian_predictor(workbench)["rows"]
+    assert rows, "expected detected Cartesian relations with test triples"
+    wins = sum(1 for row in rows if row["Cartesian(FB) FMRR"] >= row["TransE FMRR"] - 0.05)
+    assert wins >= len(rows) / 2
+    # Filtering against the larger Freebase-style snapshot can only help.
+    for row in rows:
+        assert row["Cartesian(Freebase) FMRR"] >= row["Cartesian(FB) FMRR"] - 1e-9
+
+
+# ------------------------------------------------------------------ comparison drivers
+def test_table7_shares_are_percentages(workbench):
+    rows = table7_outperform_redundancy(workbench)["rows"]
+    assert rows
+    for row in rows:
+        for metric in ("FMR", "FMRR"):
+            value = row[metric]
+            assert math.isnan(value) or 0.0 <= value <= 100.0
+
+
+def test_table7_redundant_share_is_high_on_fb(workbench):
+    tables = table7_outperform_redundancy(workbench)["tables"]
+    fb_shares = [
+        value
+        for shares in tables["FB15k-like"].values()
+        for value in shares.values()
+        if not math.isnan(value)
+    ]
+    assert fb_shares
+    # The paper's Table 7 reports ~78-95 %; the replica must at least show a majority.
+    assert max(fb_shares) > 50.0
+
+
+def test_table8_counts_cover_lineup(workbench):
+    tables = table8_best_model_counts(workbench)["tables"]
+    for dataset_counts in tables.values():
+        for metric_counts in dataset_counts.values():
+            assert set(metric_counts) == set(workbench.lineup())
+            assert all(count >= 0 for count in metric_counts.values())
+
+
+def test_figure5_6_win_percentages_are_valid(workbench):
+    heatmaps = figure5_6_per_relation_heatmap(workbench)["heatmaps"]
+    for heatmap in heatmaps.values():
+        for wins in heatmap.values():
+            assert all(0.0 <= value <= 100.0 for value in wins.values())
+            assert max(wins.values()) > 0.0
+
+
+def test_figure7_8_breakdown_uses_known_categories(workbench):
+    breakdowns = figure7_8_category_breakdown(workbench)["breakdowns"]
+    valid = {"1-1", "1-n", "n-1", "n-m"}
+    for breakdown in breakdowns.values():
+        for categories in breakdown.values():
+            assert set(categories) <= valid
+
+
+def test_table9_10_12_have_head_and_tail_columns(workbench):
+    tables = table9_10_12_category_hits(workbench)["tables"]
+    assert len(tables) == 3
+    for rows in tables.values():
+        for row in rows:
+            head_columns = [key for key in row if key.endswith(" head")]
+            tail_columns = [key for key in row if key.endswith(" tail")]
+            assert head_columns and tail_columns

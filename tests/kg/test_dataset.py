@@ -1,0 +1,96 @@
+"""Tests for the Dataset abstraction and labelled-triple construction."""
+
+import pytest
+
+from repro.kg import (
+    Dataset,
+    DatasetError,
+    TripleSet,
+    Vocabulary,
+    build_dataset_from_labelled_triples,
+)
+
+
+def test_toy_dataset_summary(toy_dataset):
+    summary = toy_dataset.summary()
+    assert summary["entities"] == 8
+    assert summary["relations"] == 4
+    assert summary["train"] == 12
+    assert summary["valid"] == 2
+    assert summary["test"] == 2
+
+
+def test_all_triples_is_union_and_cached(toy_dataset):
+    all_triples = toy_dataset.all_triples()
+    assert len(all_triples) == 12 + 2 + 2
+    assert toy_dataset.all_triples() is all_triples
+
+
+def test_known_triples_contains_every_split(toy_dataset):
+    known = toy_dataset.known_triples()
+    for split in toy_dataset.splits().values():
+        for triple in split:
+            assert triple in known
+
+
+def test_relation_name_roundtrip(toy_dataset):
+    for relation_id in range(toy_dataset.num_relations):
+        name = toy_dataset.relation_name(relation_id)
+        assert toy_dataset.relation_id(name) == relation_id
+
+
+def test_provenance_lookup(toy_dataset):
+    assert toy_dataset.provenance_of(0).reverse_of == "films_directed"
+    assert toy_dataset.provenance_of(2).symmetric is True
+    assert toy_dataset.provenance_of(3).describes_redundancy() is False
+
+
+def test_with_splits_shares_vocab_and_merges_notes(toy_dataset):
+    derived = toy_dataset.with_splits(
+        "toy-derived", toy_dataset.train, TripleSet(), TripleSet(), notes={"k": "v"}
+    )
+    assert derived.vocab is toy_dataset.vocab
+    assert derived.metadata.notes["k"] == "v"
+    assert derived.name == "toy-derived"
+    assert len(derived.test) == 0
+
+
+def test_restricted_to_relations(toy_dataset):
+    restricted = toy_dataset.restricted_to_relations([3], "toy-born-only")
+    assert all(r == 3 for _, r, _ in restricted.train)
+    assert all(r == 3 for _, r, _ in restricted.test)
+
+
+def test_validate_rejects_empty_training():
+    vocab = Vocabulary.from_labels(["a", "b"], ["r"])
+    dataset = Dataset("bad", vocab, TripleSet(), TripleSet(), TripleSet([(0, 0, 1)]))
+    with pytest.raises(DatasetError):
+        dataset.validate()
+
+
+def test_validate_rejects_out_of_range_ids():
+    vocab = Vocabulary.from_labels(["a", "b"], ["r"])
+    dataset = Dataset("bad", vocab, TripleSet([(0, 0, 5)]), TripleSet(), TripleSet())
+    with pytest.raises(DatasetError):
+        dataset.validate()
+    dataset = Dataset("bad", vocab, TripleSet([(0, 3, 1)]), TripleSet(), TripleSet())
+    with pytest.raises(DatasetError):
+        dataset.validate()
+
+
+def test_build_from_labelled_triples():
+    dataset = build_dataset_from_labelled_triples(
+        "mini",
+        train=[("a", "r", "b"), ("b", "r", "c")],
+        valid=[("a", "r", "c")],
+        test=[("c", "r", "a")],
+    )
+    assert dataset.num_entities == 3
+    assert dataset.num_relations == 1
+    assert len(dataset.train) == 2
+    assert len(dataset.valid) == 1
+    assert len(dataset.test) == 1
+
+
+def test_test_relations(toy_dataset):
+    assert set(toy_dataset.test_relations()) == {1, 3}

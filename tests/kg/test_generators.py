@@ -1,0 +1,198 @@
+"""Structural tests of the synthetic benchmark generators.
+
+These tests verify that the replicas carry the properties the paper measures
+on the real datasets: reverse-pair coverage, duplicate relations, Cartesian
+product relations, symmetric relations and dataset composition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    RelationSpec,
+    SyntheticKGBuilder,
+    assemble_dataset,
+    dataset_statistics,
+    get_scale,
+    random_split,
+    relation_frequency_share,
+)
+from repro.kg.wordnet import REVERSE_PAIRS, SYMMETRIC_RELATIONS
+
+
+# ------------------------------------------------------------------ builder primitives
+def test_builder_requires_enough_entities():
+    with pytest.raises(ValueError):
+        SyntheticKGBuilder(num_entities=2)
+
+
+def test_reverse_pair_spec_emits_both_directions():
+    builder = SyntheticKGBuilder(50, seed=1)
+    generated = builder.build([RelationSpec("likes", kind="reverse_pair", num_pairs=30)])
+    forward = {(h, t) for h, r, t in generated.triples if r == "likes"}
+    backward = {(h, t) for h, r, t in generated.triples if r == "likes_inv"}
+    assert forward == {(t, h) for h, t in backward}
+    assert generated.provenance["likes"].reverse_of == "likes_inv"
+    assert ("likes", "likes_inv") in generated.reverse_property_pairs
+
+
+def test_symmetric_spec_emits_both_directions():
+    builder = SyntheticKGBuilder(50, seed=2)
+    generated = builder.build([RelationSpec("adjacent", kind="symmetric", num_pairs=20)])
+    pairs = {(h, t) for h, r, t in generated.triples}
+    assert all((t, h) in pairs for h, t in pairs)
+    assert generated.provenance["adjacent"].symmetric
+
+
+def test_duplicate_spec_overlap():
+    builder = SyntheticKGBuilder(80, seed=3)
+    generated = builder.build(
+        [RelationSpec("plays_for", kind="duplicate_pair", num_pairs=60, overlap=0.9)]
+    )
+    main = {(h, t) for h, r, t in generated.triples if r == "plays_for"}
+    twin = {(h, t) for h, r, t in generated.triples if r == "plays_for_dup"}
+    share = len(main & twin) / len(main)
+    assert share > 0.7
+
+
+def test_cartesian_spec_density():
+    builder = SyntheticKGBuilder(60, seed=4)
+    generated = builder.build(
+        [RelationSpec("climate", kind="cartesian", subject_pool=8, object_pool=6, coverage=0.95)]
+    )
+    pairs = {(h, t) for h, r, t in generated.triples}
+    subjects = {h for h, _ in pairs}
+    objects = {t for _, t in pairs}
+    density = len(pairs) / (len(subjects) * len(objects))
+    assert density > 0.8
+    assert generated.provenance["climate"].cartesian
+
+
+def test_unknown_spec_kind_raises():
+    builder = SyntheticKGBuilder(10, seed=5)
+    with pytest.raises(ValueError):
+        builder.build([RelationSpec("x", kind="mystery")])
+
+
+@pytest.mark.parametrize("cardinality", ["1-1", "1-n", "n-1", "n-m"])
+def test_cardinality_shapes(cardinality):
+    builder = SyntheticKGBuilder(100, seed=6)
+    generated = builder.build(
+        [RelationSpec("rel", kind="normal", num_pairs=60, cardinality=cardinality,
+                      subject_pool=60, object_pool=60)]
+    )
+    pairs = [(h, t) for h, _, t in generated.triples]
+    heads = [h for h, _ in pairs]
+    tails = [t for _, t in pairs]
+    tails_per_head = len(pairs) / len(set(heads))
+    heads_per_tail = len(pairs) / len(set(tails))
+    if cardinality == "1-1":
+        assert tails_per_head < 1.5 and heads_per_tail < 1.5
+    elif cardinality == "1-n":
+        assert tails_per_head >= 1.5 and heads_per_tail < 1.5
+    elif cardinality == "n-1":
+        assert tails_per_head < 1.5 and heads_per_tail >= 1.5
+
+
+# ------------------------------------------------------------------ splitting / assembly
+def test_random_split_partitions_everything():
+    triples = [(f"a{i}", "r", f"b{i}") for i in range(100)]
+    train, valid, test = random_split(triples, (0.8, 0.1, 0.1), seed=0)
+    assert len(train) + len(valid) + len(test) == 100
+    assert set(train) | set(valid) | set(test) == set(triples)
+    assert not (set(train) & set(test))
+
+
+def test_random_split_rejects_bad_fractions():
+    with pytest.raises(ValueError):
+        random_split([("a", "r", "b")], (0.5, 0.2, 0.2))
+
+
+def test_get_scale_rejects_unknown():
+    with pytest.raises(ValueError):
+        get_scale("galactic")
+    assert get_scale("tiny").name == "tiny"
+    profile = get_scale(get_scale("small"))
+    assert profile.name == "small"
+
+
+def test_assemble_dataset_is_deterministic():
+    builder = SyntheticKGBuilder(40, seed=7)
+    generated = builder.build([RelationSpec("r", num_pairs=40)])
+    first = assemble_dataset("d", generated, seed=3)
+    second = assemble_dataset("d", generated, seed=3)
+    assert first.train.as_set() == second.train.as_set()
+    assert first.test.as_set() == second.test.as_set()
+
+
+# ------------------------------------------------------------------ benchmark replicas
+def test_fb15k_like_has_reverse_property_pairs(fb_tiny, freebase_snapshot):
+    assert len(fb_tiny.metadata.reverse_property_pairs) >= 5
+    assert len(freebase_snapshot.reverse_property_pairs) >= 5
+    # Snapshot must be a superset of benchmark content sources.
+    assert len(freebase_snapshot.triples) > len(fb_tiny.all_triples())
+
+
+def test_fb15k_like_contains_concatenated_and_cartesian_relations(fb_tiny, freebase_snapshot):
+    assert freebase_snapshot.concatenated_relations
+    assert freebase_snapshot.cartesian_relations
+    relation_names = set(fb_tiny.vocab.relations.labels())
+    assert any("." in name for name in relation_names)
+
+
+def test_fb15k_like_split_proportions(fb_tiny):
+    stats = dataset_statistics(fb_tiny)
+    total = stats.num_train + stats.num_valid + stats.num_test
+    assert stats.num_train / total > 0.75
+    assert stats.num_test / total < 0.15
+
+
+def test_wn18_like_has_18_relations_and_reverse_structure(wn_tiny):
+    assert dataset_statistics(wn_tiny).num_relations == 18
+    names = set(wn_tiny.vocab.relations.labels())
+    for forward, reverse in REVERSE_PAIRS:
+        assert forward in names and reverse in names
+    for relation in SYMMETRIC_RELATIONS:
+        assert relation in names
+
+
+def test_wn18_like_reverse_triples_exist(wn_tiny):
+    all_triples = wn_tiny.all_triples()
+    hypernym = wn_tiny.relation_id("hypernym")
+    hyponym = wn_tiny.relation_id("hyponym")
+    pairs = all_triples.pairs_of(hypernym)
+    reversed_pairs = {(t, h) for h, t in all_triples.pairs_of(hyponym)}
+    assert pairs == reversed_pairs
+
+
+def test_yago_like_duplicate_relations_dominate(yago_tiny):
+    share = relation_frequency_share(yago_tiny.train, top_k=2)
+    assert share > 0.35
+    plays = yago_tiny.relation_id("playsFor")
+    affiliated = yago_tiny.relation_id("isAffiliatedTo")
+    all_triples = yago_tiny.all_triples()
+    plays_pairs = all_triples.pairs_of(plays)
+    affiliated_pairs = all_triples.pairs_of(affiliated)
+    overlap = len(plays_pairs & affiliated_pairs) / len(plays_pairs)
+    assert overlap > 0.6
+
+
+def test_yago_like_symmetric_relations_present(yago_tiny):
+    names = set(yago_tiny.vocab.relations.labels())
+    assert {"isMarriedTo", "hasNeighbor", "isConnectedTo"} <= names
+
+
+def test_generators_are_reproducible():
+    from repro.kg import fb15k_like, wn18_like
+
+    first, _ = fb15k_like("tiny", seed=99)
+    second, _ = fb15k_like("tiny", seed=99)
+    assert first.train.as_set() == second.train.as_set()
+    assert wn18_like("tiny", 5).test.as_set() == wn18_like("tiny", 5).test.as_set()
+
+
+def test_datasets_validate(fb_tiny, wn_tiny, yago_tiny):
+    for dataset in (fb_tiny, wn_tiny, yago_tiny):
+        dataset.validate()
+        assert len(dataset.test) > 0
+        assert len(dataset.valid) > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the entity/relation vocabularies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kg import Vocabulary, VocabularyError
+
+
+def test_add_and_lookup_roundtrip():
+    vocab = Vocabulary()
+    eid = vocab.add_entity("Tokyo")
+    rid = vocab.add_relation("climate")
+    assert vocab.entity_id("Tokyo") == eid
+    assert vocab.relation_id("climate") == rid
+    assert vocab.entity_label(eid) == "Tokyo"
+    assert vocab.relation_label(rid) == "climate"
+
+
+def test_adding_same_label_twice_returns_same_id():
+    vocab = Vocabulary()
+    first = vocab.add_entity("x")
+    second = vocab.add_entity("x")
+    assert first == second
+    assert vocab.num_entities == 1
+
+
+def test_entity_and_relation_namespaces_are_independent():
+    vocab = Vocabulary()
+    entity_id = vocab.add_entity("film/directed_by")
+    relation_id = vocab.add_relation("film/directed_by")
+    assert entity_id == 0
+    assert relation_id == 0
+    assert vocab.num_entities == 1
+    assert vocab.num_relations == 1
+
+
+def test_unknown_label_raises():
+    vocab = Vocabulary()
+    with pytest.raises(VocabularyError):
+        vocab.entity_id("missing")
+    with pytest.raises(VocabularyError):
+        vocab.relation_label(3)
+
+
+def test_from_labels_preserves_order():
+    vocab = Vocabulary.from_labels(["a", "b", "c"], ["r1", "r2"])
+    assert [vocab.entity_label(i) for i in range(3)] == ["a", "b", "c"]
+    assert vocab.num_relations == 2
+
+
+def test_encode_decode_triple_roundtrip():
+    vocab = Vocabulary()
+    triple = vocab.encode_triple("begin", "verb_group", "start")
+    assert vocab.decode_triple(triple) == ("begin", "verb_group", "start")
+
+
+def test_encode_adds_missing_labels():
+    vocab = Vocabulary()
+    vocab.encode_triple("a", "r", "b")
+    assert vocab.num_entities == 2
+    assert vocab.num_relations == 1
+
+
+def test_copy_is_independent():
+    vocab = Vocabulary()
+    vocab.add_entity("a")
+    clone = vocab.copy()
+    clone.add_entity("b")
+    assert vocab.num_entities == 1
+    assert clone.num_entities == 2
+
+
+def test_contains_protocol():
+    vocab = Vocabulary()
+    vocab.add_entity("a")
+    assert "a" in vocab.entities
+    assert "b" not in vocab.entities
+
+
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=40))
+def test_property_ids_are_dense_and_stable(labels):
+    """Adding any sequence of labels yields dense ids and a consistent mapping."""
+    vocab = Vocabulary()
+    ids = [vocab.add_entity(label) for label in labels]
+    assert vocab.num_entities == len(set(labels))
+    assert set(range(vocab.num_entities)) == set(ids)
+    for label in labels:
+        assert vocab.entity_label(vocab.entity_id(label)) == label

@@ -1,0 +1,186 @@
+"""Model-zoo tests: every embedding model satisfies the shared contract."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ALL_EMBEDDING_MODELS,
+    ModelConfig,
+    UnknownModelError,
+    make_model,
+    resolve_model_class,
+)
+
+NUM_ENTITIES = 30
+NUM_RELATIONS = 5
+
+
+def build(name: str, dim: int = 16, seed: int = 0):
+    extra = {"embedding_height": 4} if name == "ConvE" else {}
+    model = make_model(
+        name, NUM_ENTITIES, NUM_RELATIONS, ModelConfig(dim=dim, seed=seed, extra=extra)
+    )
+    # Scoring-contract tests compare repeated forward passes, so stochastic
+    # regularization (ConvE's dropout) is disabled; the trainer re-enables it.
+    model.train_mode(False)
+    return model
+
+
+@pytest.fixture(params=ALL_EMBEDDING_MODELS)
+def model(request):
+    return build(request.param)
+
+
+def test_registry_rejects_unknown_models():
+    with pytest.raises(UnknownModelError):
+        resolve_model_class("HolE")
+
+
+def test_registry_is_case_insensitive():
+    assert resolve_model_class("transe").__name__ == "TransE"
+    assert resolve_model_class("TUCKER").__name__ == "TuckER"
+
+
+def test_model_rejects_empty_graph():
+    with pytest.raises(ValueError):
+        build_cls = resolve_model_class("TransE")
+        build_cls(0, 3, ModelConfig())
+
+
+def test_score_triples_shape_and_type(model):
+    heads = np.array([0, 1, 2, 3])
+    relations = np.array([0, 1, 2, 0])
+    tails = np.array([4, 5, 6, 7])
+    scores = model.score_triples(heads, relations, tails)
+    assert scores.shape == (4,)
+    np.testing.assert_allclose(scores.data, model.score_triples_np(heads, relations, tails))
+
+
+def test_scores_are_deterministic(model):
+    heads = np.array([1, 2])
+    relations = np.array([0, 1])
+    tails = np.array([3, 4])
+    was_training = model.training
+    model.train_mode(False)
+    first = model.score_triples_np(heads, relations, tails)
+    second = model.score_triples_np(heads, relations, tails)
+    model.train_mode(was_training)
+    np.testing.assert_allclose(first, second)
+
+
+def test_same_seed_same_scores():
+    for name in ALL_EMBEDDING_MODELS:
+        a = build(name, seed=7)
+        b = build(name, seed=7)
+        a.train_mode(False)
+        b.train_mode(False)
+        heads, relations, tails = np.array([0, 1]), np.array([0, 1]), np.array([2, 3])
+        np.testing.assert_allclose(
+            a.score_triples_np(heads, relations, tails),
+            b.score_triples_np(heads, relations, tails),
+        )
+
+
+def test_score_all_tails_matches_pointwise_scores(model):
+    model.train_mode(False)
+    head, relation = 2, 1
+    all_scores = model.score_all_tails(head, relation)
+    assert all_scores.shape == (NUM_ENTITIES,)
+    candidates = np.arange(NUM_ENTITIES)
+    pointwise = model.score_triples_np(
+        np.full(NUM_ENTITIES, head), np.full(NUM_ENTITIES, relation), candidates
+    )
+    np.testing.assert_allclose(all_scores, pointwise, atol=1e-8)
+
+
+def test_score_all_heads_matches_pointwise_scores(model):
+    model.train_mode(False)
+    relation, tail = 2, 5
+    all_scores = model.score_all_heads(relation, tail)
+    candidates = np.arange(NUM_ENTITIES)
+    pointwise = model.score_triples_np(
+        candidates, np.full(NUM_ENTITIES, relation), np.full(NUM_ENTITIES, tail)
+    )
+    np.testing.assert_allclose(all_scores, pointwise, atol=1e-8)
+
+
+def test_gradients_reach_every_parameter(model):
+    """One backward pass must populate a gradient for every registered parameter."""
+    heads = np.arange(8) % NUM_ENTITIES
+    relations = np.arange(8) % NUM_RELATIONS
+    tails = (np.arange(8) + 3) % NUM_ENTITIES
+    scores = model.score_triples(heads, relations, tails)
+    (scores ** 2).sum().backward()
+    missing = [
+        name
+        for name, parameter in model.parameters().items()
+        if parameter.grad is None or not np.any(parameter.grad)
+    ]
+    # Entity-bias style parameters may legitimately receive a zero gradient on
+    # particular batches, but no parameter may be disconnected from the graph.
+    disconnected = [
+        name for name, parameter in model.parameters().items() if parameter.grad is None
+    ]
+    assert not disconnected, f"parameters disconnected from the graph: {disconnected}"
+    assert len(missing) <= 1, f"parameters with all-zero gradients: {missing}"
+
+
+def test_zero_grad_clears_gradients(model):
+    heads, relations, tails = np.array([0]), np.array([0]), np.array([1])
+    model.score_triples(heads, relations, tails).sum().backward()
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters().values())
+
+
+def test_apply_constraints_keeps_entity_norms_bounded():
+    model = build("TransE")
+    model.parameters()["entity"].data *= 100.0
+    model.apply_constraints()
+    norms = np.linalg.norm(model.parameters()["entity"].data, axis=1)
+    assert np.all(norms <= 1.0 + 1e-9)
+
+
+def test_rotate_constraint_wraps_phases():
+    model = build("RotatE")
+    model.parameters()["phase"].data[:] = 10.0
+    model.apply_constraints()
+    phases = model.parameters()["phase"].data
+    assert np.all(phases <= np.pi) and np.all(phases >= -np.pi)
+
+
+def test_num_parameters_positive(model):
+    assert model.num_parameters() > 0
+    assert model.name in ALL_EMBEDDING_MODELS
+
+
+def test_conve_rejects_inconsistent_reshape():
+    with pytest.raises(ValueError):
+        make_model(
+            "ConvE",
+            NUM_ENTITIES,
+            NUM_RELATIONS,
+            ModelConfig(dim=16, extra={"embedding_height": 5}),
+        )
+
+
+def test_distmult_is_symmetric_complex_is_not():
+    distmult = build("DistMult")
+    complex_model = build("ComplEx")
+    heads, relations, tails = np.array([1]), np.array([2]), np.array([4])
+    forward = distmult.score_triples_np(heads, relations, tails)
+    backward = distmult.score_triples_np(tails, relations, heads)
+    np.testing.assert_allclose(forward, backward)
+    forward_c = complex_model.score_triples_np(heads, relations, tails)
+    backward_c = complex_model.score_triples_np(tails, relations, heads)
+    assert not np.allclose(forward_c, backward_c)
+
+
+def test_translational_scores_are_nonpositive():
+    """Distance-based scores are negated distances, hence never positive."""
+    for name in ("TransE", "TransH", "TransR", "TransD", "RotatE"):
+        model = build(name)
+        heads = np.arange(10) % NUM_ENTITIES
+        relations = np.arange(10) % NUM_RELATIONS
+        tails = (np.arange(10) + 1) % NUM_ENTITIES
+        scores = model.score_triples_np(heads, relations, tails)
+        assert np.all(scores <= 1e-9)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import GENERATED_DATASETS, build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_six_datasets(tmp_path, capsys):
+    exit_code = main(["generate", "--scale", "tiny", "--output", str(tmp_path / "out")])
+    assert exit_code == 0
+    written = {p.name for p in (tmp_path / "out").iterdir()}
+    assert len(written) == 6
+    assert "FB15k-like" in written and "WN18RR-like" in written
+    output = capsys.readouterr().out
+    assert "Datasets written" in output
+
+
+def test_audit_named_dataset(capsys):
+    exit_code = main(["audit", "--dataset", "wn18", "--scale", "tiny"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Redundancy summary" in output
+    assert "reverse relation pairs" in output
+    assert "Figure 4 style" in output
+
+
+def test_audit_dataset_directory(tmp_path, capsys, toy_dataset):
+    from repro.kg import save_dataset
+
+    directory = save_dataset(toy_dataset, tmp_path / "toy")
+    exit_code = main(["audit", "--dataset", str(directory)])
+    assert exit_code == 0
+    assert "Audit of toy" in capsys.readouterr().out
+
+
+def test_audit_unknown_dataset_name_errors():
+    with pytest.raises(SystemExit):
+        main(["audit", "--dataset", "freebase-full"])
+    assert "fb15k" in GENERATED_DATASETS
+
+
+def test_train_subcommand_runs_and_reports_metrics(capsys):
+    exit_code = main(
+        [
+            "train",
+            "--dataset", "wn18rr",
+            "--model", "DistMult",
+            "--scale", "tiny",
+            "--dim", "8",
+            "--epochs", "2",
+            "--quiet",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "trained DistMult" in output
+    assert "FMRR" in output
+
+
+def test_experiment_subcommand_single_table(capsys):
+    exit_code = main(["experiment", "table1", "--scale", "tiny", "--epochs", "2", "--dim", "8"])
+    assert exit_code == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_experiment_subcommand_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["experiment", "table99"])
