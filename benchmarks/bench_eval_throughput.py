@@ -1,0 +1,103 @@
+"""Link-prediction evaluation throughput: batched protocol vs per-triple path.
+
+Builds a synthetic FB15k-shaped dataset — a few thousand entities, a skewed
+relation distribution and a test split where many triples share their
+``(h, r)`` / ``(r, t)`` query, exactly the redundancy the batched evaluator
+exploits — and measures triples-ranked-per-second through the same
+:class:`LinkPredictionEvaluator` in both modes.  Both paths produce
+bit-identical rank records (asserted), so the comparison is pure protocol
+overhead: query deduplication + vectorized rank extraction versus one scoring
+call and one mask copy per triple.
+
+Run standalone (``python benchmarks/bench_eval_throughput.py``, which is what
+CI does — the speedup threshold is asserted on that path) or explicitly via
+``pytest benchmarks/bench_eval_throughput.py``; neither requires
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.eval import LinkPredictionEvaluator
+from repro.kg import Dataset, TripleSet, Vocabulary
+from repro.models import ModelConfig, make_model
+
+NUM_ENTITIES = 1500
+NUM_RELATIONS = 40
+NUM_TRAIN = 8000
+NUM_QUERIES = 300          # unique (h, r) test queries ...
+TAILS_PER_QUERY = 5        # ... each answered by several test triples
+
+
+def fb15k_shaped_dataset(seed: int = 29) -> Dataset:
+    """A synthetic dataset with FB15k-style query redundancy in its test split."""
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary.from_labels(
+        [f"e{i}" for i in range(NUM_ENTITIES)], [f"r{i}" for i in range(NUM_RELATIONS)]
+    )
+    # Zipf-ish relation frequencies, like Freebase's skewed relation sizes.
+    relation_weights = 1.0 / np.arange(1, NUM_RELATIONS + 1)
+    relation_weights /= relation_weights.sum()
+    train = TripleSet(
+        zip(
+            rng.integers(0, NUM_ENTITIES, NUM_TRAIN),
+            rng.choice(NUM_RELATIONS, NUM_TRAIN, p=relation_weights),
+            rng.integers(0, NUM_ENTITIES, NUM_TRAIN),
+        )
+    )
+    test = TripleSet()
+    for _ in range(NUM_QUERIES):
+        head = int(rng.integers(0, NUM_ENTITIES))
+        relation = int(rng.choice(NUM_RELATIONS, p=relation_weights))
+        for tail in rng.integers(0, NUM_ENTITIES, TAILS_PER_QUERY):
+            test.add((head, relation, int(tail)))
+    return Dataset("fb15k-shaped", vocab, train, TripleSet(), test)
+
+
+def measure_throughput(seed: int = 29, dim: int = 64) -> dict:
+    dataset = fb15k_shaped_dataset(seed)
+    model = make_model("DistMult", dataset.num_entities, dataset.num_relations, ModelConfig(dim=dim, seed=seed))
+    model.train_mode(False)
+    evaluator = LinkPredictionEvaluator(dataset)
+    num_test = len(dataset.test)
+
+    start = time.perf_counter()
+    per_triple = evaluator.evaluate(model, batched=False)
+    per_triple_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = evaluator.evaluate(model, batched=True)
+    batched_seconds = time.perf_counter() - start
+
+    for expected, actual in zip(per_triple.records, batched.records):
+        assert (expected.raw_rank, expected.filtered_rank) == (actual.raw_rank, actual.filtered_rank)
+
+    return {
+        "test_triples": num_test,
+        "per_triple_seconds": per_triple_seconds,
+        "batched_seconds": batched_seconds,
+        "per_triple_triples_per_second": num_test / per_triple_seconds,
+        "batched_triples_per_second": num_test / batched_seconds,
+        "speedup": per_triple_seconds / batched_seconds,
+    }
+
+
+def main() -> dict:
+    """Print the measurements and enforce the regression threshold."""
+    result = measure_throughput()
+    for key, value in result.items():
+        print(f"{key:>32}: {value:,.2f}" if isinstance(value, float) else f"{key:>32}: {value}")
+    assert result["speedup"] > 1.2, f"batched path regressed below the per-triple path: {result}"
+    return result
+
+
+def test_batched_evaluation_is_faster():
+    print()
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,7 @@ from .core import (
     render_key_values,
     render_table,
 )
-from .eval import evaluate_model
+from .eval import DEFAULT_EVAL_BATCH_SIZE, evaluate_model
 from .experiments import EXPERIMENT_INDEX, ExperimentConfig, Workbench
 from .kg import (
     Dataset,
@@ -166,7 +166,9 @@ def command_train(args: argparse.Namespace) -> int:
     )
     print(f"trained {result.model_name} on {result.dataset_name}: "
           f"{result.epochs_run} epochs, final loss {result.final_loss:.4f}, {result.seconds:.1f}s")
-    evaluation = evaluate_model(model, dataset, model_name=args.model)
+    evaluation = evaluate_model(
+        model, dataset, model_name=args.model, eval_batch_size=args.eval_batch_size
+    )
     print(render_table([evaluation.as_row()], title="Link prediction"))
     return 0
 
@@ -180,7 +182,11 @@ def command_experiment(args: argparse.Namespace) -> int:
             f"unknown experiment {unknown[0]!r}; available: {', '.join(EXPERIMENT_INDEX)}, all"
         )
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed, dim=args.dim, epochs=args.epochs
+        scale=args.scale,
+        seed=args.seed,
+        dim=args.dim,
+        epochs=args.epochs,
+        eval_batch_size=args.eval_batch_size,
     )
     workbench = Workbench(config)
     for key in keys:
@@ -222,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--learning-rate", type=float, default=0.05)
     train.add_argument("--negatives", type=int, default=4)
+    train.add_argument(
+        "--eval-batch-size",
+        type=int,
+        default=DEFAULT_EVAL_BATCH_SIZE,
+        help="unique link-prediction queries scored per batched evaluator call",
+    )
     train.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
     train.set_defaults(handler=command_train)
 
@@ -230,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help=f"experiment key ({', '.join(EXPERIMENT_INDEX)}) or 'all'")
     experiment.add_argument("--dim", type=int, default=16)
     experiment.add_argument("--epochs", type=int, default=25)
+    experiment.add_argument(
+        "--eval-batch-size",
+        type=int,
+        default=DEFAULT_EVAL_BATCH_SIZE,
+        help="unique link-prediction queries scored per batched evaluator call",
+    )
     experiment.set_defaults(handler=command_experiment)
 
     return parser

@@ -24,6 +24,7 @@ from typing import Dict, List, Set, Tuple
 import numpy as np
 
 from ..kg.triples import TripleSet
+from .redundancy import build_pair_index, build_pair_sets, overlap_counts
 
 #: The intersection threshold quoted in the paper ("more than 80%").
 DEFAULT_INTERSECTION_THRESHOLD = 0.8
@@ -61,25 +62,45 @@ class SimpleRuleModel:
 
     # -- rule discovery --------------------------------------------------------------
     def _find_rules(self) -> List[SimpleRulePair]:
+        """Detect rule pairs through the shared inverted-index candidate generator.
+
+        Only relation pairs that share at least one (subject, object) pair are
+        ever considered; both overlap notions are symmetric, so the unordered
+        intersection counts serve the (source, target) and (target, source)
+        directions with their respective denominators.
+        """
         relations = self.train.relations
-        pair_sets = {r: self.train.pairs_of(r) for r in relations}
-        reversed_sets = {r: {(t, h) for h, t in pairs} for r, pairs in pair_sets.items()}
+        pair_sets = build_pair_sets(self.train, relations)
+        pair_index = build_pair_index(pair_sets)
+        same_counts = overlap_counts(pair_sets, reversed_b=False, index=pair_index)
+        reverse_counts = overlap_counts(
+            pair_sets, reversed_b=True, include_self=True, index=pair_index
+        )
+        same_partners: Dict[int, Dict[int, int]] = defaultdict(dict)
+        for (a, b), count in same_counts.items():
+            same_partners[a][b] = count
+            same_partners[b][a] = count
+        reverse_partners: Dict[int, Dict[int, int]] = defaultdict(dict)
+        for (a, b), count in reverse_counts.items():
+            reverse_partners[a][b] = count
+            reverse_partners[b][a] = count
         rules: List[SimpleRulePair] = []
         for target in relations:
-            target_pairs = pair_sets[target]
-            if not target_pairs:
+            target_size = len(pair_sets[target])
+            if not target_size:
                 continue
-            for source in relations:
-                source_pairs = pair_sets[source]
-                if not source_pairs:
-                    continue
-                if source != target:
-                    same_share = len(target_pairs & source_pairs) / len(target_pairs)
+            candidates = sorted(set(same_partners[target]) | set(reverse_partners[target]))
+            for source in candidates:
+                same_overlap = same_partners[target].get(source, 0)
+                if source != target and same_overlap:
+                    same_share = same_overlap / target_size
                     if same_share > self.threshold:
                         rules.append(SimpleRulePair(source, target, False, same_share))
-                reverse_share = len(target_pairs & reversed_sets[source]) / len(target_pairs)
-                if reverse_share > self.threshold:
-                    rules.append(SimpleRulePair(source, target, True, reverse_share))
+                reverse_overlap = reverse_partners[target].get(source, 0)
+                if reverse_overlap:
+                    reverse_share = reverse_overlap / target_size
+                    if reverse_share > self.threshold:
+                        rules.append(SimpleRulePair(source, target, True, reverse_share))
         return rules
 
     # -- prediction -------------------------------------------------------------------
@@ -116,6 +137,27 @@ class SimpleRuleModel:
         predictions = self.predicted_heads(relation, tail)
         if predictions:
             scores[list(predictions)] = 1.0
+        return scores
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """(B, E) indicator scores, built in one preallocated matrix."""
+        heads = np.asarray(heads, dtype=np.int64).reshape(-1)
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        scores = np.zeros((len(heads), self.num_entities))
+        for row, (head, relation) in enumerate(zip(heads, relations)):
+            predictions = self.predicted_tails(int(head), int(relation))
+            if predictions:
+                scores[row, list(predictions)] = 1.0
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        tails = np.asarray(tails, dtype=np.int64).reshape(-1)
+        scores = np.zeros((len(relations), self.num_entities))
+        for row, (relation, tail) in enumerate(zip(relations, tails)):
+            predictions = self.predicted_heads(int(relation), int(tail))
+            if predictions:
+                scores[row, list(predictions)] = 1.0
         return scores
 
     @property

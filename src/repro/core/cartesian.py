@@ -138,25 +138,45 @@ class CartesianProductPredictor:
         return relation in self.cartesian_relations
 
     # -- scoring interface (mirrors KGEModel) ------------------------------------------
-    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
-        scores = np.zeros(self.num_entities)
-        members = self._objects.get(relation, set())
+    # The candidate scores depend only on the relation (never on the anchor
+    # entity), so within one batched call each relation's row is built once
+    # and shared by every query on it.  Rows are not retained across calls:
+    # a dense float64 row per relation per side would pin hundreds of MB on
+    # FB15k-scale relation counts for no recurring benefit.
+    def _relation_row(self, relation: int, side: str) -> np.ndarray:
+        members = (self._objects if side == "tail" else self._subjects).get(relation, set())
+        frequency = self._object_frequency if side == "tail" else self._subject_frequency
+        row = np.zeros(self.num_entities)
         base = self.CARTESIAN_SCORE if self.is_cartesian(relation) else self.FALLBACK_SCORE
         if members:
-            scores[list(members)] = base
-        if relation in self._object_frequency:
-            scores += self._object_frequency[relation]
-        return scores
+            row[list(members)] = base
+        if relation in frequency:
+            row += frequency[relation]
+        return row
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        return self._relation_row(relation, "tail")
 
     def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
-        scores = np.zeros(self.num_entities)
-        members = self._subjects.get(relation, set())
-        base = self.CARTESIAN_SCORE if self.is_cartesian(relation) else self.FALLBACK_SCORE
-        if members:
-            scores[list(members)] = base
-        if relation in self._subject_frequency:
-            scores += self._subject_frequency[relation]
+        return self._relation_row(relation, "head")
+
+    def _score_batch(self, relations: np.ndarray, side: str) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        scores = np.empty((len(relations), self.num_entities))
+        rows: Dict[int, np.ndarray] = {}
+        for index, relation in enumerate(relations):
+            relation = int(relation)
+            row = rows.get(relation)
+            if row is None:
+                rows[relation] = row = self._relation_row(relation, side)
+            scores[index] = row
         return scores
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        return self._score_batch(relations, "tail")
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        return self._score_batch(relations, "head")
 
     @property
     def name(self) -> str:

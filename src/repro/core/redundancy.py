@@ -13,6 +13,13 @@ Three kinds of relation-level redundancy are detected from the triples alone
 
 The paper sets θ1 = θ2 = 0.8 on FB15k; the same defaults are used here and the
 thresholds are explicit parameters so the ablation experiment can sweep them.
+
+Instead of intersecting every pair of relation pair-sets (O(R²) set
+intersections), the detectors share an **inverted-index candidate-pair
+generator** (:func:`overlap_counts`): an index from each (subject, object)
+pair to the relations containing it yields, in one sweep over the triples,
+the exact intersection size of every relation pair that shares at least one
+pair — relation pairs with an empty intersection are never materialised.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..kg.triples import TripleSet
+
+#: A relation's pair set, keyed by relation id (built once, shared by every detector).
+PairSets = Dict[int, Set[Tuple[int, int]]]
+
+#: The inverted index behind the candidate-pair generator: each (subject,
+#: object) pair maps to the relations containing it.
+PairIndex = Dict[Tuple[int, int], List[int]]
 
 #: The paper's overlap thresholds (Section 4.2.2).
 DEFAULT_THETA_1 = 0.8
@@ -97,6 +111,119 @@ def _pair_overlap(
     return len(pairs_a & pairs_b)
 
 
+def build_pair_sets(
+    triples: TripleSet, relations: Optional[Sequence[int]] = None
+) -> PairSets:
+    """Each relation's (subject, object) pair set, built once for all detectors."""
+    relations = list(relations) if relations is not None else triples.relations
+    return {relation: triples.pairs_of(relation) for relation in relations}
+
+
+def build_pair_index(pair_sets: PairSets) -> PairIndex:
+    """The (subject, object) → relations inverted index, built in one sweep."""
+    index: PairIndex = {}
+    for relation, pairs in pair_sets.items():
+        for pair in pairs:
+            index.setdefault(pair, []).append(relation)
+    return index
+
+
+def overlap_counts(
+    pair_sets: PairSets,
+    reversed_b: bool = False,
+    include_self: bool = False,
+    index: Optional[PairIndex] = None,
+) -> Dict[Tuple[int, int], int]:
+    """Exact pair-set intersection sizes via an inverted index.
+
+    Returns ``{(a, b): |T_a ∩ T_b|}`` (or ``|T_a ∩ reverse(T_b)|`` when
+    ``reversed_b``) for every relation pair with a non-empty intersection,
+    keyed with ``a < b``.  ``include_self`` additionally emits ``(r, r)``
+    entries counting ``|T_r ∩ reverse(T_r)|`` — the symmetry numerator — and
+    is only meaningful together with ``reversed_b``.  Both overlap notions are
+    symmetric in (a, b), so one unordered count serves both directions.
+
+    ``index`` lets callers running several count sweeps over the same pair
+    sets (same-direction and reversed) build the inverted index once; when
+    provided it must have been built from exactly ``pair_sets``.
+    """
+    if index is None:
+        index = build_pair_index(pair_sets)
+    counts: Dict[Tuple[int, int], int] = {}
+    if not reversed_b:
+        for relations_sharing in index.values():
+            if len(relations_sharing) < 2:
+                continue
+            ordered = sorted(relations_sharing)
+            for position, relation_a in enumerate(ordered):
+                for relation_b in ordered[position + 1:]:
+                    key = (relation_a, relation_b)
+                    counts[key] = counts.get(key, 0) + 1
+    else:
+        # Count, for every shared pair (h, t), the relations holding (h, t)
+        # against the relations holding (t, h).  Each qualifying pair of A is
+        # visited exactly once (at its own key), so no double counting.
+        for (head, tail), relations_a in index.items():
+            relations_b = index.get((tail, head))
+            if not relations_b:
+                continue
+            for relation_a in relations_a:
+                for relation_b in relations_b:
+                    if relation_a < relation_b or (
+                        include_self and relation_a == relation_b
+                    ):
+                        key = (relation_a, relation_b)
+                        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _find_overlapping_pairs(
+    triples: TripleSet,
+    theta_1: float,
+    theta_2: float,
+    reversed_b: bool,
+    relations: Optional[Sequence[int]] = None,
+    pair_sets: Optional[PairSets] = None,
+    pair_index: Optional[PairIndex] = None,
+) -> List[RelationOverlap]:
+    """One parameterized sweep behind the duplicate and reverse-duplicate detectors.
+
+    ``pair_index`` (when given alongside ``pair_sets``) must be the inverted
+    index of exactly the relations being scanned; :func:`analyse_redundancy`
+    builds both once and shares them across its detector runs.
+    """
+    relations = list(relations) if relations is not None else triples.relations
+    if pair_sets is None:
+        pair_sets = build_pair_sets(triples, relations)
+        pair_index = None
+    else:
+        restricted = {r: pair_sets[r] for r in relations}
+        if len(restricted) != len(pair_sets):
+            pair_index = None
+        pair_sets = restricted
+    position = {relation: index for index, relation in enumerate(relations)}
+    found: List[RelationOverlap] = []
+    for (relation_a, relation_b), count in overlap_counts(
+        pair_sets, reversed_b=reversed_b, index=pair_index
+    ).items():
+        # relation_a is the one listed earlier, matching the nested-loop order
+        # of the original O(R²) scan (θ1 applies to it, θ2 to its partner).
+        if position[relation_a] > position[relation_b]:
+            relation_a, relation_b = relation_b, relation_a
+        overlap = RelationOverlap(
+            relation_a=relation_a,
+            relation_b=relation_b,
+            overlap=count,
+            size_a=len(pair_sets[relation_a]),
+            size_b=len(pair_sets[relation_b]),
+            reversed_b=reversed_b,
+        )
+        if overlap.exceeds(theta_1, theta_2):
+            found.append(overlap)
+    found.sort(key=lambda o: (position[o.relation_a], position[o.relation_b]))
+    return found
+
+
 def relation_overlap(
     triples: TripleSet, relation_a: int, relation_b: int, reversed_b: bool = False
 ) -> RelationOverlap:
@@ -118,16 +245,14 @@ def find_duplicate_relations(
     theta_1: float = DEFAULT_THETA_1,
     theta_2: float = DEFAULT_THETA_2,
     relations: Optional[Sequence[int]] = None,
+    pair_sets: Optional[PairSets] = None,
+    pair_index: Optional[PairIndex] = None,
 ) -> List[RelationOverlap]:
     """Relation pairs that are (near-)duplicates under the θ thresholds."""
-    relations = list(relations) if relations is not None else triples.relations
-    found: List[RelationOverlap] = []
-    for index, relation_a in enumerate(relations):
-        for relation_b in relations[index + 1:]:
-            overlap = relation_overlap(triples, relation_a, relation_b, reversed_b=False)
-            if overlap.overlap and overlap.exceeds(theta_1, theta_2):
-                found.append(overlap)
-    return found
+    return _find_overlapping_pairs(
+        triples, theta_1, theta_2, reversed_b=False,
+        relations=relations, pair_sets=pair_sets, pair_index=pair_index,
+    )
 
 
 def find_reverse_duplicate_relations(
@@ -135,28 +260,29 @@ def find_reverse_duplicate_relations(
     theta_1: float = DEFAULT_THETA_1,
     theta_2: float = DEFAULT_THETA_2,
     relations: Optional[Sequence[int]] = None,
+    pair_sets: Optional[PairSets] = None,
+    pair_index: Optional[PairIndex] = None,
 ) -> List[RelationOverlap]:
     """Relation pairs where one holds (approximately) the reversed pairs of the other."""
-    relations = list(relations) if relations is not None else triples.relations
-    found: List[RelationOverlap] = []
-    for index, relation_a in enumerate(relations):
-        for relation_b in relations[index + 1:]:
-            overlap = relation_overlap(triples, relation_a, relation_b, reversed_b=True)
-            if overlap.overlap and overlap.exceeds(theta_1, theta_2):
-                found.append(overlap)
-    return found
+    return _find_overlapping_pairs(
+        triples, theta_1, theta_2, reversed_b=True,
+        relations=relations, pair_sets=pair_sets, pair_index=pair_index,
+    )
 
 
 def find_symmetric_relations(
     triples: TripleSet,
     threshold: float = DEFAULT_THETA_1,
     relations: Optional[Sequence[int]] = None,
+    pair_sets: Optional[PairSets] = None,
 ) -> List[int]:
     """Relations that are their own reverse (self-reciprocal)."""
     relations = list(relations) if relations is not None else triples.relations
+    if pair_sets is None:
+        pair_sets = build_pair_sets(triples, relations)
     symmetric: List[int] = []
     for relation in relations:
-        pairs = triples.pairs_of(relation)
+        pairs = pair_sets[relation]
         if not pairs:
             continue
         reversed_pairs = {(t, h) for h, t in pairs}
@@ -173,16 +299,26 @@ def analyse_redundancy(
 ) -> RedundancyReport:
     """Run every relation-level detector and classify the overlapping pairs.
 
-    Reverse-duplicate pairs where the overlap is (almost) total on both sides
-    are reported as *reverse pairs* (semantically reverse relations); the rest
-    stay in the reverse-duplicate bucket, mirroring the paper's distinction
-    between the reverse relations annotated by ``reverse_property`` and the
-    looser reverse duplicates found by the overlap test.
+    Every relation's pair set is built exactly once and shared by the
+    symmetric, duplicate and reverse-duplicate detectors.  Reverse-duplicate
+    pairs where the overlap is (almost) total on both sides are reported as
+    *reverse pairs* (semantically reverse relations); the rest stay in the
+    reverse-duplicate bucket, mirroring the paper's distinction between the
+    reverse relations annotated by ``reverse_property`` and the looser reverse
+    duplicates found by the overlap test.
     """
+    pair_sets = build_pair_sets(triples)
+    pair_index = build_pair_index(pair_sets)
     report = RedundancyReport()
-    report.symmetric_relations = find_symmetric_relations(triples, theta_1)
-    report.duplicate_pairs = find_duplicate_relations(triples, theta_1, theta_2)
-    for overlap in find_reverse_duplicate_relations(triples, theta_1, theta_2):
+    report.symmetric_relations = find_symmetric_relations(
+        triples, theta_1, pair_sets=pair_sets
+    )
+    report.duplicate_pairs = find_duplicate_relations(
+        triples, theta_1, theta_2, pair_sets=pair_sets, pair_index=pair_index
+    )
+    for overlap in find_reverse_duplicate_relations(
+        triples, theta_1, theta_2, pair_sets=pair_sets, pair_index=pair_index
+    ):
         if overlap.share_of_a > 0.95 and overlap.share_of_b > 0.95:
             report.reverse_pairs.append(overlap)
         else:

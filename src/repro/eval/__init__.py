@@ -8,6 +8,7 @@ from .metrics import (
     metrics_from_rank_pairs,
 )
 from .ranking import (
+    DEFAULT_EVAL_BATCH_SIZE,
     CandidateScorer,
     EvaluationResult,
     LinkPredictionEvaluator,
@@ -29,6 +30,7 @@ __all__ = [
     "better_of",
     "metrics_from_rank_pairs",
     "CandidateScorer",
+    "DEFAULT_EVAL_BATCH_SIZE",
     "RankRecord",
     "EvaluationResult",
     "LinkPredictionEvaluator",

@@ -1,4 +1,4 @@
-"""The link-prediction ranking protocol (Section 3.2 of the paper).
+"""The link-prediction ranking protocol (Section 3.2 of the paper), batched.
 
 For every test triple ``(h, r, t)`` the evaluator ranks ``t`` against every
 entity as a candidate tail of ``(h, r, ?)`` and ``h`` against every entity as
@@ -14,6 +14,27 @@ the middle of the candidates sharing its score).  This matters for the
 rule-based and Cartesian-product predictors, which assign identical scores to
 many candidates; optimistic tie-breaking would inflate their accuracy and
 pessimistic tie-breaking would unfairly punish them.
+
+The evaluator runs the protocol **batched**:
+
+* test queries are deduplicated by ``(h, r)`` (tail side) / ``(r, t)`` (head
+  side), so each unique query is scored exactly once per run, however many
+  test triples share it;
+* unique queries are streamed through the scorer's
+  ``score_tails_batch`` / ``score_heads_batch`` contract in configurable
+  chunks (``eval_batch_size``), keeping the ``(B, E)`` score matrices
+  memory-bounded on FB15k-scale runs — scorers without the batched contract
+  transparently fall back to per-query ``score_all_*`` calls;
+* raw and filtered mean-tie ranks are computed from vectorized comparison
+  counts, using precomputed flat index arrays of known completions per query
+  instead of per-triple boolean-mask copies.
+
+Rank extraction is exact integer comparison counting, so given equal score
+vectors the batched path agrees bit-for-bit with the per-triple protocol.
+The original per-triple protocol — including the models' seed scoring
+semantics — is preserved behind ``evaluate(..., batched=False)``, and the
+regression suite asserts rank identity between the two paths for every
+scorer family.
 """
 
 from __future__ import annotations
@@ -27,9 +48,19 @@ from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet
 from .metrics import MetricPair, RankingMetrics, metrics_from_rank_pairs
 
+#: Unique queries scored per batched scorer call; bounds the (B, E) score
+#: matrix so large-scale evaluations stay memory-bounded.
+DEFAULT_EVAL_BATCH_SIZE = 256
+
 
 class CandidateScorer(Protocol):
-    """What the evaluator needs from a model (embedding, rule-based or baseline)."""
+    """What the evaluator needs from a model (embedding, rule-based or baseline).
+
+    Scorers may additionally provide the batched contract
+    (``score_tails_batch(heads, relations)`` / ``score_heads_batch(relations,
+    tails)`` returning ``(B, E)`` matrices); the evaluator uses it when
+    present and falls back to these per-query methods otherwise.
+    """
 
     def score_all_tails(self, head: int, relation: int) -> np.ndarray: ...
 
@@ -124,23 +155,129 @@ def _rank_with_mean_ties(scores: np.ndarray, target_index: int, mask: np.ndarray
 
 
 class LinkPredictionEvaluator:
-    """Runs the ranking protocol for any scorer on a dataset's test split."""
+    """Runs the (batched) ranking protocol for any scorer on a dataset's test split."""
 
     def __init__(
         self,
         dataset: Dataset,
         filter_triples: Optional[Iterable[Triple]] = None,
         extra_ground_truth: Optional[TripleSet] = None,
+        eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     ) -> None:
         self.dataset = dataset
+        self.eval_batch_size = max(1, int(eval_batch_size))
         known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
         if extra_ground_truth is not None:
             known |= extra_ground_truth.as_set()
-        self._known_tails: Dict[Tuple[int, int], Set[int]] = {}
-        self._known_heads: Dict[Tuple[int, int], Set[int]] = {}
+        known_tail_sets: Dict[Tuple[int, int], Set[int]] = {}
+        known_head_sets: Dict[Tuple[int, int], Set[int]] = {}
         for h, r, t in known:
-            self._known_tails.setdefault((h, r), set()).add(t)
-            self._known_heads.setdefault((r, t), set()).add(h)
+            known_tail_sets.setdefault((h, r), set()).add(t)
+            known_head_sets.setdefault((r, t), set()).add(h)
+        # Flat, sorted index arrays per query: the filtered rank subtracts the
+        # comparison counts of these candidates, no per-triple mask copies.
+        self._known_tails: Dict[Tuple[int, int], np.ndarray] = {
+            query: np.fromiter(sorted(values), dtype=np.int64, count=len(values))
+            for query, values in known_tail_sets.items()
+        }
+        self._known_heads: Dict[Tuple[int, int], np.ndarray] = {
+            query: np.fromiter(sorted(values), dtype=np.int64, count=len(values))
+            for query, values in known_head_sets.items()
+        }
+
+    # -- batched ranking internals ----------------------------------------------------
+    def _score_queries(
+        self, scorer: CandidateScorer, queries: Sequence[Tuple[int, int]], side: str
+    ) -> np.ndarray:
+        """(len(queries), E) score matrix, via the batched contract when available.
+
+        Query tuples are already in the batched methods' argument order:
+        ``(head, relation)`` for the tail side, ``(relation, tail)`` for the
+        head side.
+        """
+        batch_fn = getattr(
+            scorer, "score_tails_batch" if side == "tail" else "score_heads_batch", None
+        )
+        if batch_fn is not None:
+            first = np.fromiter((a for a, _ in queries), dtype=np.int64, count=len(queries))
+            second = np.fromiter((b for _, b in queries), dtype=np.int64, count=len(queries))
+            return np.asarray(batch_fn(first, second), dtype=np.float64)
+        single_fn = scorer.score_all_tails if side == "tail" else scorer.score_all_heads
+        return np.stack(
+            [np.asarray(single_fn(a, b), dtype=np.float64) for a, b in queries]
+        )
+
+    @staticmethod
+    def _mean_tie_ranks(
+        scores: np.ndarray, targets: np.ndarray, known: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw and filtered mean-tie ranks of ``targets`` within one score row.
+
+        All quantities are exact comparison counts, so the result is
+        bit-identical to the per-triple masked computation.
+        """
+        target_scores = scores[targets]                                    # (M,)
+        greater = (scores[None, :] > target_scores[:, None]).sum(axis=1).astype(np.float64)
+        equal = (scores[None, :] == target_scores[:, None]).sum(axis=1).astype(np.float64)
+        tied_others = np.maximum(equal - 1.0, 0.0)
+        raw = 1.0 + greater + tied_others / 2.0
+        if known is None or not len(known):
+            return raw, raw.copy()
+        known_scores = scores[known]                                       # (K,)
+        known_greater = (known_scores[None, :] > target_scores[:, None]).sum(axis=1)
+        known_equal = (known_scores[None, :] == target_scores[:, None]).sum(axis=1)
+        contains_target = (known[None, :] == targets[:, None]).sum(axis=1)
+        # Removing known\{target} cannot remove the target itself: its own
+        # equality hit is added back before re-deriving the tie count.
+        filtered_greater = greater - known_greater
+        filtered_equal = equal - (known_equal - contains_target)
+        filtered_tied_others = np.maximum(filtered_equal - 1.0, 0.0)
+        filtered = 1.0 + filtered_greater + filtered_tied_others / 2.0
+        return raw, filtered
+
+    def _ranks_for_side(
+        self,
+        scorer: CandidateScorer,
+        triples: Sequence[Triple],
+        side: str,
+        eval_batch_size: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw/filtered rank arrays aligned with ``triples`` for one side."""
+        groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        order: List[Tuple[int, int]] = []
+        for position, (h, r, t) in enumerate(triples):
+            query = (h, r) if side == "tail" else (r, t)
+            entries = groups.get(query)
+            if entries is None:
+                groups[query] = entries = []
+                order.append(query)
+            entries.append((position, t if side == "tail" else h))
+        # Score unique queries in sorted order: ranks are written back by
+        # triple position, so the order is unobservable, but sorting clusters
+        # the head side by relation — letting scorers whose cost is dominated
+        # by a per-relation precomputation (ConvE's all-entity convolution)
+        # reuse it across a whole chunk instead of once per interleaved query.
+        order.sort()
+        known_index = self._known_tails if side == "tail" else self._known_heads
+        raw = np.empty(len(triples))
+        filtered = np.empty(len(triples))
+        for start in range(0, len(order), eval_batch_size):
+            chunk = order[start:start + eval_batch_size]
+            score_matrix = self._score_queries(scorer, chunk, side)
+            for scores, query in zip(score_matrix, chunk):
+                entries = groups[query]
+                targets = np.fromiter(
+                    (target for _, target in entries), dtype=np.int64, count=len(entries)
+                )
+                raw_ranks, filtered_ranks = self._mean_tie_ranks(
+                    scores, targets, known_index.get(query)
+                )
+                for (position, _), raw_rank, filtered_rank in zip(
+                    entries, raw_ranks, filtered_ranks
+                ):
+                    raw[position] = raw_rank
+                    filtered[position] = filtered_rank
+        return raw, filtered
 
     # -- evaluation ----------------------------------------------------------------
     def evaluate(
@@ -149,14 +286,46 @@ class LinkPredictionEvaluator:
         test_triples: Optional[Sequence[Triple]] = None,
         model_name: Optional[str] = None,
         sides: Tuple[str, ...] = ("head", "tail"),
+        batched: bool = True,
+        eval_batch_size: Optional[int] = None,
     ) -> EvaluationResult:
-        """Rank every test triple on the requested sides."""
+        """Rank every test triple on the requested sides.
+
+        ``batched=False`` selects the per-triple reference protocol (one
+        scoring call and one mask copy per triple) kept for regression tests
+        and throughput comparisons.
+        """
         triples = list(test_triples) if test_triples is not None else list(self.dataset.test)
         name = model_name or getattr(scorer, "name", type(scorer).__name__)
         result = EvaluationResult(model_name=name, dataset_name=self.dataset.name)
+        if not batched:
+            return self._evaluate_per_triple(scorer, triples, result, sides)
+        batch_size = self.eval_batch_size if eval_batch_size is None else max(1, int(eval_batch_size))
+        tail_ranks = self._ranks_for_side(scorer, triples, "tail", batch_size) if "tail" in sides else None
+        head_ranks = self._ranks_for_side(scorer, triples, "head", batch_size) if "head" in sides else None
+        for position, (h, r, t) in enumerate(triples):
+            if tail_ranks is not None:
+                result.records.append(
+                    RankRecord(h, r, t, "tail",
+                               float(tail_ranks[0][position]), float(tail_ranks[1][position]))
+                )
+            if head_ranks is not None:
+                result.records.append(
+                    RankRecord(h, r, t, "head",
+                               float(head_ranks[0][position]), float(head_ranks[1][position]))
+                )
+        return result
+
+    def _evaluate_per_triple(
+        self,
+        scorer: CandidateScorer,
+        triples: Sequence[Triple],
+        result: EvaluationResult,
+        sides: Tuple[str, ...],
+    ) -> EvaluationResult:
+        """The original one-query-per-triple protocol (reference implementation)."""
         num_entities = self.dataset.num_entities
         all_candidates = np.ones(num_entities, dtype=bool)
-
         for h, r, t in triples:
             if "tail" in sides:
                 scores = np.asarray(scorer.score_all_tails(h, r), dtype=np.float64)
@@ -185,7 +354,10 @@ def evaluate_model(
     test_triples: Optional[Sequence[Triple]] = None,
     extra_ground_truth: Optional[TripleSet] = None,
     model_name: Optional[str] = None,
+    eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
 ) -> EvaluationResult:
     """Convenience wrapper constructing the evaluator with default filtering."""
-    evaluator = LinkPredictionEvaluator(dataset, extra_ground_truth=extra_ground_truth)
+    evaluator = LinkPredictionEvaluator(
+        dataset, extra_ground_truth=extra_ground_truth, eval_batch_size=eval_batch_size
+    )
     return evaluator.evaluate(scorer, test_triples=test_triples, model_name=model_name)

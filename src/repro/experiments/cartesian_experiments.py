@@ -64,8 +64,11 @@ def table3_cartesian_predictor(workbench: Workbench) -> Dict[str, object]:
     cartesian_predictor = CartesianProductPredictor(
         dataset.train, dataset.num_entities, density_threshold=0.75
     )
-    benchmark_evaluator = LinkPredictionEvaluator(dataset)
-    snapshot_evaluator = LinkPredictionEvaluator(dataset, extra_ground_truth=snapshot_triples)
+    eval_batch_size = workbench.config.eval_batch_size
+    benchmark_evaluator = LinkPredictionEvaluator(dataset, eval_batch_size=eval_batch_size)
+    snapshot_evaluator = LinkPredictionEvaluator(
+        dataset, extra_ground_truth=snapshot_triples, eval_batch_size=eval_batch_size
+    )
 
     rows: List[Dict[str, object]] = []
     relation_index: List[Dict[str, str]] = []

@@ -19,7 +19,7 @@ from ..core.categories import dataset_relation_categories
 from ..core.deredundancy import make_fb15k237_like, make_wn18rr_like, make_yago_dr_like
 from ..core.leakage import LeakageReport, analyse_leakage
 from ..core.redundancy import RedundancyReport, analyse_redundancy
-from ..eval.ranking import EvaluationResult, LinkPredictionEvaluator
+from ..eval.ranking import DEFAULT_EVAL_BATCH_SIZE, EvaluationResult, LinkPredictionEvaluator
 from ..kg.dataset import Dataset
 from ..kg.freebase import FreebaseSnapshot, fb15k_like
 from ..kg.wordnet import wn18_like
@@ -52,6 +52,8 @@ class ExperimentConfig:
     batch_size: int = 256
     num_negatives: int = 2
     learning_rate: float = 0.05
+    #: Unique link-prediction queries scored per batched evaluator call.
+    eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
@@ -181,7 +183,9 @@ class Workbench:
         if key in self._evaluations:
             return self._evaluations[key]
         dataset = self.dataset(dataset_name)
-        evaluator = LinkPredictionEvaluator(dataset)
+        evaluator = LinkPredictionEvaluator(
+            dataset, eval_batch_size=self.config.eval_batch_size
+        )
         result = evaluator.evaluate(
             self.scorer(model_name, dataset_name), model_name=model_name
         )

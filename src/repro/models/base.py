@@ -7,8 +7,18 @@ special-case a model:
 * ``score_triples(h, r, t)`` — a differentiable plausibility score for a batch
   of triples; **higher means more plausible** for every model (distance-based
   models return negated distances).
-* ``score_all_tails(h, r)`` / ``score_all_heads(r, t)`` — the full candidate
-  ranking vectors the link-prediction protocol needs.
+* ``score_tails_batch(heads, relations)`` / ``score_heads_batch(relations,
+  tails)`` — the **batched scoring contract**: one ``(B, E)`` matrix of
+  candidate scores for ``B`` link-prediction queries at once.  This is the
+  primary surface of the ranking protocol; every model in the zoo overrides
+  both with a truly vectorized kernel, and the base class provides a
+  brute-force fallback (one ``score_triples_np`` sweep per query) so
+  third-party scorers that only implement the single-triple contract keep
+  working.
+* ``score_all_tails(h, r)`` / ``score_all_heads(r, t)`` — the legacy
+  single-query vectors, kept on the original brute-force ``score_triples``
+  sweep so the per-triple reference protocol retains the seed scoring
+  semantics the batched kernels are regression-tested against.
 * ``parameters()`` — the trainable :class:`~repro.autodiff.tensor.Parameter`
   objects for the optimizer.
 """
@@ -39,6 +49,19 @@ class ModelConfig:
     regularization: float = 0.0
     loss: str = "default"
     extra: Dict[str, float] = field(default_factory=dict)
+
+
+def iter_row_slices(batch: int, row_elements: int, budget: int = 2_000_000) -> "list[slice]":
+    """Slices over a batch keeping ``rows × row_elements`` temporaries cache-sized.
+
+    The broadcast kernels of the distance-based models materialize a
+    ``(rows, E, d)`` difference tensor; bounding it (~16 MB of float64 at the
+    default budget) keeps the batched path memory-bounded and faster than
+    letting one huge temporary spill to DRAM.  Slicing rows never changes the
+    per-row arithmetic, so results are bit-identical for any budget.
+    """
+    step = max(1, budget // max(1, row_elements))
+    return [slice(start, start + step) for start in range(0, batch, step)]
 
 
 class KGEModel(ABC):
@@ -104,15 +127,67 @@ class KGEModel(ABC):
         """Plain-numpy scores (no gradient bookkeeping kept by the caller)."""
         return self.score_triples(np.asarray(heads), np.asarray(relations), np.asarray(tails)).data
 
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Scores of ``(h_i, r_i, t)`` for every entity ``t`` — shape ``(B, E)``.
+
+        The default implementation runs one brute-force ``score_triples_np``
+        sweep per query; subclasses override it with vectorized kernels.
+        """
+        heads = np.asarray(heads, dtype=np.int64).reshape(-1)
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        candidates = np.arange(self.num_entities)
+        rows = [
+            self.score_triples_np(
+                np.full(self.num_entities, h, dtype=np.int64),
+                np.full(self.num_entities, r, dtype=np.int64),
+                candidates,
+            )
+            for h, r in zip(heads, relations)
+        ]
+        if not rows:
+            return np.empty((0, self.num_entities))
+        return np.stack(rows)
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Scores of ``(h, r_i, t_i)`` for every entity ``h`` — shape ``(B, E)``.
+
+        The default implementation runs one brute-force ``score_triples_np``
+        sweep per query; subclasses override it with vectorized kernels.
+        """
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        tails = np.asarray(tails, dtype=np.int64).reshape(-1)
+        candidates = np.arange(self.num_entities)
+        rows = [
+            self.score_triples_np(
+                candidates,
+                np.full(self.num_entities, r, dtype=np.int64),
+                np.full(self.num_entities, t, dtype=np.int64),
+            )
+            for r, t in zip(relations, tails)
+        ]
+        if not rows:
+            return np.empty((0, self.num_entities))
+        return np.stack(rows)
+
     def score_all_tails(self, head: int, relation: int) -> np.ndarray:
-        """Scores of ``(head, relation, t)`` for every entity ``t``."""
+        """Scores of ``(head, relation, t)`` for every entity ``t``.
+
+        Kept as the original brute-force ``score_triples_np`` sweep so the
+        per-triple reference protocol (``evaluate(..., batched=False)``)
+        preserves the seed scoring semantics exactly; the batched kernels are
+        validated against it by the equivalence regression tests.
+        """
         candidates = np.arange(self.num_entities)
         heads = np.full(self.num_entities, head, dtype=np.int64)
         relations = np.full(self.num_entities, relation, dtype=np.int64)
         return self.score_triples_np(heads, relations, candidates)
 
     def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
-        """Scores of ``(h, relation, tail)`` for every entity ``h``."""
+        """Scores of ``(h, relation, tail)`` for every entity ``h``.
+
+        Kept as the original brute-force ``score_triples_np`` sweep; see
+        :meth:`score_all_tails`.
+        """
         candidates = np.arange(self.num_entities)
         relations = np.full(self.num_entities, relation, dtype=np.int64)
         tails = np.full(self.num_entities, tail, dtype=np.int64)

@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..autodiff import Tensor, conv2d
-from .base import KGEModel, ModelConfig
+from .base import KGEModel, ModelConfig, iter_row_slices
 
 
 class ConvE(KGEModel):
@@ -68,6 +68,25 @@ class ConvE(KGEModel):
         )
         self.fc_bias = self.register_parameter("fc_bias", np.zeros(dim))
         self.entity_bias = self.register_parameter("entity_bias", np.zeros(num_entities))
+        # Last (relation, all-entity hidden matrix) pair computed by head
+        # scoring; the evaluator sorts head queries by relation, so one slot
+        # bridges chunk boundaries without unbounded retention.  Invalidated
+        # on train_mode flips and on zero_grad, which every gradient-based
+        # update path goes through; mutating parameter arrays directly
+        # without either bypasses the invalidation.
+        self._head_hidden_cache: "Optional[tuple]" = None
+
+    def train_mode(self, enabled: bool = True) -> None:
+        # Any mode flip brackets a training phase that may have updated the
+        # parameters the cached hidden matrix was computed from.
+        super().train_mode(enabled)
+        self._head_hidden_cache = None
+
+    def zero_grad(self) -> None:
+        # Called before every optimizer step, so parameter updates made
+        # without a train_mode flip still drop the cached hidden matrix.
+        super().zero_grad()
+        self._head_hidden_cache = None
 
     # -- internals ----------------------------------------------------------------
     def _hidden(self, heads: np.ndarray, relations: np.ndarray) -> Tensor:
@@ -89,12 +108,48 @@ class ConvE(KGEModel):
         bias = self.entity_bias.gather(tails)
         return (hidden * t).sum(axis=-1) + bias
 
-    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
-        """1-N scoring: compute the hidden vector once, match every entity."""
+    def _hidden_np(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Hidden vectors with dropout forced off (candidate scoring is eval-time)."""
         was_training = self.training
         self.training = False
         try:
-            hidden = self._hidden(np.array([head]), np.array([relation])).data[0]
+            return self._hidden(np.asarray(heads, dtype=np.int64), np.asarray(relations, dtype=np.int64)).data
         finally:
             self.training = was_training
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """1-N scoring: compute the hidden vector once, match every entity."""
+        hidden = self._hidden_np(np.array([head]), np.array([relation]))[0]
         return self.entity.data @ hidden + self.entity_bias.data
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """1-N scoring: one hidden vector per query, matched against every entity."""
+        hidden = self._hidden_np(heads, relations)                        # (B, d)
+        return hidden @ self.entity.data.T + self.entity_bias.data[None, :]
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Head scoring groups queries by relation: the expensive convolution
+        over all candidate heads runs once per distinct relation and is reused
+        by every query sharing it."""
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        tails = np.asarray(tails, dtype=np.int64).reshape(-1)
+        scores = np.empty((len(relations), self.num_entities))
+        candidates = np.arange(self.num_entities)
+        for relation in np.unique(relations):
+            rows = np.nonzero(relations == relation)[0]
+            if self._head_hidden_cache is not None and self._head_hidden_cache[0] == int(relation):
+                hidden = self._head_hidden_cache[1]
+            else:
+                # Sweep the candidate heads in slices: the convolution
+                # temporaries scale with flat_size per candidate, so an
+                # unchunked all-entity pass would defeat the evaluator's
+                # memory bounding.
+                hidden = np.empty((self.num_entities, self.config.dim))
+                for candidate_rows in iter_row_slices(self.num_entities, self.flat_size):
+                    chunk = candidates[candidate_rows]
+                    hidden[candidate_rows] = self._hidden_np(chunk, np.full(len(chunk), relation))
+                self._head_hidden_cache = (int(relation), hidden)
+            t = self.entity.data[tails[rows]]                             # (k, d)
+            bias = self.entity_bias.data[tails[rows]]                     # (k,)
+            scores[rows] = t @ hidden.T + bias[:, None]
+        return scores

@@ -35,6 +35,18 @@ class RESCAL(KGEModel):
         w_r = self.relation.gather(relations)                        # (b, d, d)
         return (h @ w_r @ t).reshape(len(heads))
 
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]            # (B, d)
+        w_r = self.relation.data[np.asarray(relations, dtype=np.int64)]    # (B, d, d)
+        query = np.einsum("bd,bdk->bk", h, w_r)                            # h^T W_r
+        return query @ self.entity.data.T
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        w_r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        query = np.einsum("bdk,bk->bd", w_r, t)                            # W_r t
+        return query @ self.entity.data.T
+
 
 class DistMult(KGEModel):
     """Yang et al. (2015): RESCAL restricted to diagonal relation matrices.
@@ -56,6 +68,16 @@ class DistMult(KGEModel):
         r = self.relation.gather(relations)
         t = self.entity.gather(tails)
         return (h * r * t).sum(axis=-1)
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        return (h * r) @ self.entity.data.T
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        return (r * t) @ self.entity.data.T
 
 
 class ComplEx(KGEModel):
@@ -89,6 +111,31 @@ class ComplEx(KGEModel):
             - (h_im * r_im * t_re).sum(axis=-1)
         )
         return score
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        h_re = self.entity_re.data[heads]
+        h_im = self.entity_im.data[heads]
+        r_re = self.relation_re.data[relations]
+        r_im = self.relation_im.data[relations]
+        # Re(<h, w_r, conj(t)>) grouped by the tail factors: the real part of
+        # the candidate multiplies (h_re r_re - h_im r_im), the imaginary part
+        # multiplies (h_im r_re + h_re r_im).
+        query_re = h_re * r_re - h_im * r_im
+        query_im = h_im * r_re + h_re * r_im
+        return query_re @ self.entity_re.data.T + query_im @ self.entity_im.data.T
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        t_re = self.entity_re.data[tails]
+        t_im = self.entity_im.data[tails]
+        r_re = self.relation_re.data[relations]
+        r_im = self.relation_im.data[relations]
+        query_re = r_re * t_re + r_im * t_im
+        query_im = r_re * t_im - r_im * t_re
+        return query_re @ self.entity_re.data.T + query_im @ self.entity_im.data.T
 
 
 class TuckER(KGEModel):
@@ -125,3 +172,17 @@ class TuckER(KGEModel):
         hwr = (r.reshape(len(heads), 1, self.relation_dim) @ hw).reshape(len(heads), dim)
         # ×₃ t : inner product with the tail.
         return (hwr * t).sum(axis=-1)
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]            # (B, d_e)
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]      # (B, d_r)
+        hw = np.einsum("bi,ijk->bjk", h, self.core.data)                   # W ×₁ h
+        query = np.einsum("bj,bjk->bk", r, hw)                             # ×₂ w_r
+        return query @ self.entity.data.T
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        wt = np.einsum("ijk,bk->bij", self.core.data, t)                   # W ×₃ t
+        query = np.einsum("bij,bj->bi", wt, r)                             # ×₂ w_r
+        return query @ self.entity.data.T

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..autodiff import Tensor
-from .base import KGEModel, ModelConfig
+from .base import KGEModel, ModelConfig, iter_row_slices
 
 
 class TransE(KGEModel):
@@ -43,6 +43,31 @@ class TransE(KGEModel):
         r = self.relation.gather(relations)
         t = self.entity.gather(tails)
         return -self._distance(h + r - t)
+
+    def _distance_np(self, delta: np.ndarray) -> np.ndarray:
+        if self.norm == 1:
+            return np.abs(delta).sum(axis=-1)
+        return np.sqrt((delta ** 2).sum(axis=-1))
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        query = h + r
+        entities = self.entity.data
+        scores = np.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), entities.size):
+            scores[rows] = -self._distance_np(query[rows, None, :] - entities[None, :, :])
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        entities = self.entity.data
+        scores = np.empty((len(r), self.num_entities))
+        for rows in iter_row_slices(len(r), entities.size):
+            delta = (entities[None, :, :] + r[rows, None, :]) - t[rows, None, :]
+            scores[rows] = -self._distance_np(delta)
+        return scores
 
 
 class TransH(KGEModel):
@@ -77,6 +102,43 @@ class TransH(KGEModel):
         w_r = w_r / norm
         delta = self._project(h, w_r) + d_r - self._project(t, w_r)
         return -delta.abs().sum(axis=-1)
+
+    def _unit_normals(self, relations: np.ndarray) -> np.ndarray:
+        w_r = self.normal.data[relations]
+        norm = np.sqrt((w_r ** 2).sum(axis=-1, keepdims=True) + 1e-12)
+        return w_r / norm
+
+    @staticmethod
+    def _project_np(vectors: np.ndarray, normals: np.ndarray) -> np.ndarray:
+        component = (vectors * normals).sum(axis=-1, keepdims=True)
+        return vectors - component * normals
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
+        d_r = self.relation.data[relations]
+        w_r = self._unit_normals(relations)                               # (B, d)
+        query = self._project_np(h, w_r) + d_r                            # (B, d)
+        entities = self.entity.data
+        scores = np.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), entities.size):
+            t_proj = self._project_np(entities[None, :, :], w_r[rows, None, :])
+            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        d_r = self.relation.data[relations]
+        w_r = self._unit_normals(relations)
+        t_proj = self._project_np(t, w_r)                                 # (B, d)
+        entities = self.entity.data
+        scores = np.empty((len(t), self.num_entities))
+        for rows in iter_row_slices(len(t), entities.size):
+            h_proj = self._project_np(entities[None, :, :], w_r[rows, None, :])
+            delta = (h_proj + d_r[rows, None, :]) - t_proj[rows, None, :]
+            scores[rows] = -np.abs(delta).sum(axis=-1)
+        return scores
 
 
 class TransR(KGEModel):
@@ -117,6 +179,33 @@ class TransR(KGEModel):
         t_proj = (m_r @ t).reshape(len(tails), self.relation_dim)
         return -(h_proj + r - t_proj).abs().sum(axis=-1)
 
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        h = self.entity.data[np.asarray(heads, dtype=np.int64)]           # (B, d)
+        r = self.relation.data[relations]                                  # (B, k)
+        m_r = self.projection.data[relations]                              # (B, k, d)
+        query = np.einsum("bkd,bd->bk", m_r, h) + r                        # (B, k)
+        entities = self.entity.data
+        scores = np.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), self.num_entities * self.relation_dim):
+            t_proj = np.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
+            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
+        r = self.relation.data[relations]
+        m_r = self.projection.data[relations]
+        t_proj = np.einsum("bkd,bd->bk", m_r, t)                           # (B, k)
+        entities = self.entity.data
+        scores = np.empty((len(t), self.num_entities))
+        for rows in iter_row_slices(len(t), self.num_entities * self.relation_dim):
+            h_proj = np.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
+            delta = (h_proj + r[rows, None, :]) - t_proj[rows, None, :]
+            scores[rows] = -np.abs(delta).sum(axis=-1)
+        return scores
+
 
 class TransD(KGEModel):
     """Ji et al. (2015): dynamic per entity-relation projection vectors.
@@ -151,6 +240,43 @@ class TransD(KGEModel):
         r_p = self.relation_proj.gather(relations)
         delta = self._project(h, h_p, r_p) + r - self._project(t, t_p, r_p)
         return -delta.abs().sum(axis=-1)
+
+    def _entity_components(self) -> np.ndarray:
+        """``(e_p · e)`` for every entity — the dynamic projection coefficients."""
+        return (self.entity_proj.data * self.entity.data).sum(axis=-1)
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        h = self.entity.data[heads]
+        r = self.relation.data[relations]
+        h_p = self.entity_proj.data[heads]
+        r_p = self.relation_proj.data[relations]
+        query = h + ((h_p * h).sum(axis=-1, keepdims=True)) * r_p + r      # (B, d)
+        components = self._entity_components()                              # (E,)
+        entities = self.entity.data
+        scores = np.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), entities.size):
+            t_proj = entities[None, :, :] + components[None, :, None] * r_p[rows, None, :]
+            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        t = self.entity.data[tails]
+        r = self.relation.data[relations]
+        t_p = self.entity_proj.data[tails]
+        r_p = self.relation_proj.data[relations]
+        t_proj = t + ((t_p * t).sum(axis=-1, keepdims=True)) * r_p          # (B, d)
+        components = self._entity_components()
+        entities = self.entity.data
+        scores = np.empty((len(t), self.num_entities))
+        for rows in iter_row_slices(len(t), entities.size):
+            h_proj = entities[None, :, :] + components[None, :, None] * r_p[rows, None, :]
+            delta = (h_proj + r[rows, None, :]) - t_proj[rows, None, :]
+            scores[rows] = -np.abs(delta).sum(axis=-1)
+        return scores
 
 
 class RotatE(KGEModel):
@@ -188,6 +314,51 @@ class RotatE(KGEModel):
         delta_sq = (rotated_re - t_re) ** 2 + (rotated_im - t_im) ** 2
         distance = (delta_sq.sum(axis=-1) + 1e-12).sqrt()
         return -distance
+
+    def _rotations(self, relations: np.ndarray) -> tuple:
+        phases = self.phase.data[relations]
+        return np.cos(phases), np.sin(phases)
+
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        h_re = self.entity_re.data[heads]
+        h_im = self.entity_im.data[heads]
+        cos_r, sin_r = self._rotations(relations)
+        rotated_re = h_re * cos_r - h_im * sin_r                            # (B, d)
+        rotated_im = h_re * sin_r + h_im * cos_r
+        entities_re = self.entity_re.data
+        entities_im = self.entity_im.data
+        scores = np.empty((len(rotated_re), self.num_entities))
+        for rows in iter_row_slices(len(rotated_re), entities_re.size):
+            delta_sq = (
+                (rotated_re[rows, None, :] - entities_re[None, :, :]) ** 2
+                + (rotated_im[rows, None, :] - entities_im[None, :, :]) ** 2
+            )
+            scores[rows] = -np.sqrt(delta_sq.sum(axis=-1) + 1e-12)
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        relations = np.asarray(relations, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        t_re = self.entity_re.data[tails]
+        t_im = self.entity_im.data[tails]
+        cos_r, sin_r = self._rotations(relations)
+        entities_re = self.entity_re.data
+        entities_im = self.entity_im.data
+        scores = np.empty((len(t_re), self.num_entities))
+        for rows in iter_row_slices(len(t_re), entities_re.size):
+            rotated_re = (
+                entities_re[None, :, :] * cos_r[rows, None, :]
+                - entities_im[None, :, :] * sin_r[rows, None, :]
+            )                                                               # (rows, E, d)
+            rotated_im = (
+                entities_re[None, :, :] * sin_r[rows, None, :]
+                + entities_im[None, :, :] * cos_r[rows, None, :]
+            )
+            delta_sq = (rotated_re - t_re[rows, None, :]) ** 2 + (rotated_im - t_im[rows, None, :]) ** 2
+            scores[rows] = -np.sqrt(delta_sq.sum(axis=-1) + 1e-12)
+        return scores
 
     def apply_constraints(self) -> None:
         # Keep phases within (-π, π] for interpretability; entity embeddings

@@ -98,13 +98,46 @@ class RuleBasedPredictor:
                     best_confidence[candidate] = rule.pca_confidence
         return best_confidence + self.TIE_BREAK_WEIGHT * applicable_rules
 
+    def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """(B, E) rule scores in one preallocated matrix.
+
+        Rule instantiation is inherently per-query set algebra; callers that
+        batch through the evaluator already deduplicate queries, so no
+        per-call memoization is layered on top.
+        """
+        heads = np.asarray(heads, dtype=np.int64).reshape(-1)
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        scores = np.empty((len(heads), self.num_entities))
+        for row, (h, r) in enumerate(zip(heads, relations)):
+            scores[row] = self.score_all_tails(int(h), int(r))
+        return scores
+
+    def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """(B, E) rule scores in one preallocated matrix (see ``score_tails_batch``)."""
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        tails = np.asarray(tails, dtype=np.int64).reshape(-1)
+        scores = np.empty((len(relations), self.num_entities))
+        for row, (r, t) in enumerate(zip(relations, tails)):
+            scores[row] = self.score_all_heads(int(r), int(t))
+        return scores
+
     def score_triples_np(
         self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
     ) -> np.ndarray:
-        """Pointwise scores (used by analysis code, not by training)."""
+        """Pointwise scores (used by analysis code, not by training).
+
+        Triples sharing an ``(h, r)`` query are answered from one cached score
+        vector instead of re-running the rule instantiation per triple.
+        """
         scores = np.zeros(len(heads))
+        cache: Dict[Tuple[int, int], np.ndarray] = {}
         for index, (h, r, t) in enumerate(zip(heads, relations, tails)):
-            scores[index] = self.score_all_tails(int(h), int(r))[int(t)]
+            key = (int(h), int(r))
+            vector = cache.get(key)
+            if vector is None:
+                vector = self.score_all_tails(*key)
+                cache[key] = vector
+            scores[index] = vector[int(t)]
         return scores
 
     # -- reporting --------------------------------------------------------------

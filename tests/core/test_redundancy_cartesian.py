@@ -186,3 +186,45 @@ def test_property_overlap_shares_bounded(raw):
     overlap = relation_overlap(kg, relations[0], relations[1])
     assert 0.0 <= overlap.share_of_a <= 1.0
     assert 0.0 <= overlap.share_of_b <= 1.0
+
+
+# ------------------------------------------------------------------ inverted-index generator
+def _brute_force_pairs(triples, theta_1, theta_2, reversed_b):
+    """The original O(R²) nested-loop scan, kept as the reference behaviour."""
+    relations = triples.relations
+    found = []
+    for index, relation_a in enumerate(relations):
+        for relation_b in relations[index + 1:]:
+            overlap = relation_overlap(triples, relation_a, relation_b, reversed_b=reversed_b)
+            if overlap.overlap and overlap.exceeds(theta_1, theta_2):
+                found.append(overlap)
+    return found
+
+
+@pytest.mark.parametrize("reversed_b", [False, True])
+@pytest.mark.parametrize("theta", [0.0, 0.5, 0.8])
+def test_inverted_index_matches_brute_force_on_fb_replica(fb_tiny, reversed_b, theta):
+    triples = fb_tiny.all_triples()
+    finder = find_reverse_duplicate_relations if reversed_b else find_duplicate_relations
+    expected = _brute_force_pairs(triples, theta, theta, reversed_b)
+    assert finder(triples, theta, theta) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4), st.integers(0, 8)), max_size=80))
+def test_property_inverted_index_matches_brute_force(raw):
+    kg = TripleSet(raw)
+    for reversed_b in (False, True):
+        finder = find_reverse_duplicate_relations if reversed_b else find_duplicate_relations
+        assert finder(kg, 0.3, 0.3) == _brute_force_pairs(kg, 0.3, 0.3, reversed_b)
+
+
+def test_cartesian_predictor_batched_rows_match_single_queries():
+    kg = cartesian_kg(coverage=0.9)
+    predictor = CartesianProductPredictor(kg, num_entities=120)
+    heads = np.array([0, 1, 0])
+    relations = np.array([0, 0, 0])
+    batched = predictor.score_tails_batch(heads, relations)
+    assert batched.shape == (3, 120)
+    for row, (h, r) in zip(batched, zip(heads, relations)):
+        np.testing.assert_array_equal(row, predictor.score_all_tails(int(h), int(r)))
