@@ -1,27 +1,47 @@
-"""Link-prediction evaluation throughput: batched protocol vs per-triple path.
+"""Link-prediction evaluation throughput: batched protocol and sharded workers.
 
-Builds a synthetic FB15k-shaped dataset — a few thousand entities, a skewed
-relation distribution and a test split where many triples share their
-``(h, r)`` / ``(r, t)`` query, exactly the redundancy the batched evaluator
-exploits — and measures triples-ranked-per-second through the same
-:class:`LinkPredictionEvaluator` in both modes.  Both paths produce
-bit-identical rank records (asserted), so the comparison is pure protocol
-overhead: query deduplication + vectorized rank extraction versus one scoring
-call and one mask copy per triple.
+Two measurements on synthetic FB15k-shaped workloads (a few thousand entities,
+a skewed relation distribution and a test split where many triples share their
+``(h, r)`` / ``(r, t)`` query — exactly the redundancy the batched evaluator
+exploits):
+
+1. **Batched vs per-triple** — triples-ranked-per-second through the same
+   :class:`LinkPredictionEvaluator` in both modes.  Both paths produce
+   bit-identical rank records (asserted), so the comparison is pure protocol
+   overhead: query deduplication + vectorized rank extraction versus one
+   scoring call and one mask copy per triple.
+2. **Workers sweep** — the batched path at ``n_workers`` in {1, 2, 4} on a
+   larger workload, with bit-identity between the sharded and single-process
+   results asserted at every worker count.
+
+The script is CI's **benchmark regression gate**: it always writes a
+machine-readable report (``BENCH_eval_throughput.json`` by default,
+``--json PATH`` to override) and exits non-zero when an enforced gate fails.
+The batched-vs-per-triple gate (>= ``BENCH_MIN_BATCHED_SPEEDUP``, default
+1.2x) is always enforced; the 4-worker gate (>= ``BENCH_MIN_WORKER_SPEEDUP``,
+default 1.5x over 1 worker) is enforced only when the machine has at least
+4 CPUs — on fewer cores the sweep still runs and is recorded, but parallel
+speedup is physically unavailable, so the gate reports itself as skipped.
+Pin BLAS threads (``OMP_NUM_THREADS=1`` etc.) when gating, as CI does, so the
+single-process baseline is not silently multi-threaded.
 
 Run standalone (``python benchmarks/bench_eval_throughput.py``, which is what
-CI does — the speedup threshold is asserted on that path) or explicitly via
-``pytest benchmarks/bench_eval_throughput.py``; neither requires
-pytest-benchmark.
+CI does) or via ``pytest benchmarks/bench_eval_throughput.py``; neither
+requires pytest-benchmark.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
 import time
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.eval import LinkPredictionEvaluator
+from repro.eval import LinkPredictionEvaluator, multiprocessing_available
 from repro.kg import Dataset, TripleSet, Vocabulary
 from repro.models import ModelConfig, make_model
 
@@ -31,35 +51,60 @@ NUM_TRAIN = 8000
 NUM_QUERIES = 300          # unique (h, r) test queries ...
 TAILS_PER_QUERY = 5        # ... each answered by several test triples
 
+#: The workers sweep runs on a larger replica of the same shape so that
+#: per-shard compute dominates pool start-up and payload shipping.
+SWEEP_SCALE = 8
+WORKER_COUNTS = (1, 2, 4)
 
-def fb15k_shaped_dataset(seed: int = 29) -> Dataset:
+MIN_BATCHED_SPEEDUP = float(os.environ.get("BENCH_MIN_BATCHED_SPEEDUP", "1.2"))
+MIN_WORKER_SPEEDUP = float(os.environ.get("BENCH_MIN_WORKER_SPEEDUP", "1.5"))
+DEFAULT_JSON_PATH = "BENCH_eval_throughput.json"
+
+
+def fb15k_shaped_dataset(seed: int = 29, scale: int = 1) -> Dataset:
     """A synthetic dataset with FB15k-style query redundancy in its test split."""
     rng = np.random.default_rng(seed)
+    num_entities = NUM_ENTITIES * scale
+    num_train = NUM_TRAIN * scale
+    num_queries = NUM_QUERIES * scale
     vocab = Vocabulary.from_labels(
-        [f"e{i}" for i in range(NUM_ENTITIES)], [f"r{i}" for i in range(NUM_RELATIONS)]
+        [f"e{i}" for i in range(num_entities)], [f"r{i}" for i in range(NUM_RELATIONS)]
     )
     # Zipf-ish relation frequencies, like Freebase's skewed relation sizes.
     relation_weights = 1.0 / np.arange(1, NUM_RELATIONS + 1)
     relation_weights /= relation_weights.sum()
     train = TripleSet(
         zip(
-            rng.integers(0, NUM_ENTITIES, NUM_TRAIN),
-            rng.choice(NUM_RELATIONS, NUM_TRAIN, p=relation_weights),
-            rng.integers(0, NUM_ENTITIES, NUM_TRAIN),
+            rng.integers(0, num_entities, num_train),
+            rng.choice(NUM_RELATIONS, num_train, p=relation_weights),
+            rng.integers(0, num_entities, num_train),
         )
     )
     test = TripleSet()
-    for _ in range(NUM_QUERIES):
-        head = int(rng.integers(0, NUM_ENTITIES))
+    for _ in range(num_queries):
+        head = int(rng.integers(0, num_entities))
         relation = int(rng.choice(NUM_RELATIONS, p=relation_weights))
-        for tail in rng.integers(0, NUM_ENTITIES, TAILS_PER_QUERY):
+        for tail in rng.integers(0, num_entities, TAILS_PER_QUERY):
             test.add((head, relation, int(tail)))
-    return Dataset("fb15k-shaped", vocab, train, TripleSet(), test)
+    return Dataset(f"fb15k-shaped-x{scale}", vocab, train, TripleSet(), test)
+
+
+def _assert_identical(reference, other, context: str) -> None:
+    assert len(reference.records) == len(other.records), context
+    for expected, actual in zip(reference.records, other.records):
+        assert (expected.triple, expected.side) == (actual.triple, actual.side), context
+        assert (expected.raw_rank, expected.filtered_rank) == (
+            actual.raw_rank,
+            actual.filtered_rank,
+        ), (context, expected, actual)
 
 
 def measure_throughput(seed: int = 29, dim: int = 64) -> dict:
+    """Batched vs per-triple triples-per-second on the base workload."""
     dataset = fb15k_shaped_dataset(seed)
-    model = make_model("DistMult", dataset.num_entities, dataset.num_relations, ModelConfig(dim=dim, seed=seed))
+    model = make_model(
+        "DistMult", dataset.num_entities, dataset.num_relations, ModelConfig(dim=dim, seed=seed)
+    )
     model.train_mode(False)
     evaluator = LinkPredictionEvaluator(dataset)
     num_test = len(dataset.test)
@@ -72,8 +117,7 @@ def measure_throughput(seed: int = 29, dim: int = 64) -> dict:
     batched = evaluator.evaluate(model, batched=True)
     batched_seconds = time.perf_counter() - start
 
-    for expected, actual in zip(per_triple.records, batched.records):
-        assert (expected.raw_rank, expected.filtered_rank) == (actual.raw_rank, actual.filtered_rank)
+    _assert_identical(per_triple, batched, "batched vs per-triple")
 
     return {
         "test_triples": num_test,
@@ -85,19 +129,156 @@ def measure_throughput(seed: int = 29, dim: int = 64) -> dict:
     }
 
 
-def main() -> dict:
-    """Print the measurements and enforce the regression threshold."""
-    result = measure_throughput()
-    for key, value in result.items():
+def measure_worker_sweep(
+    workers: Sequence[int] = WORKER_COUNTS, seed: int = 29, dim: int = 64
+) -> dict:
+    """The sharded batched path at several worker counts on the sweep workload.
+
+    Every multi-worker run is asserted bit-identical to the 1-worker run
+    before its throughput is reported; the 1-worker baseline is always
+    measured first, whatever ``workers`` contains.
+    """
+    dataset = fb15k_shaped_dataset(seed, scale=SWEEP_SCALE)
+    model = make_model(
+        "DistMult", dataset.num_entities, dataset.num_relations, ModelConfig(dim=dim, seed=seed)
+    )
+    model.train_mode(False)
+    evaluator = LinkPredictionEvaluator(dataset)
+    num_test = len(dataset.test)
+
+    results = []
+    reference = None
+    single_seconds: Optional[float] = None
+    for n_workers in sorted(set(workers) | {1}):
+        start = time.perf_counter()
+        outcome = evaluator.evaluate(model, n_workers=n_workers)
+        seconds = time.perf_counter() - start
+        if n_workers == 1:
+            reference, single_seconds = outcome, seconds
+        else:
+            _assert_identical(reference, outcome, f"n_workers={n_workers}")
+        results.append(
+            {
+                "n_workers": n_workers,
+                "seconds": seconds,
+                "triples_per_second": num_test / seconds,
+                "speedup_vs_single_worker": single_seconds / seconds,
+            }
+        )
+    return {
+        "workload": {
+            "entities": dataset.num_entities,
+            "relations": dataset.num_relations,
+            "train_triples": len(dataset.train),
+            "test_triples": num_test,
+            "dim": dim,
+        },
+        "results": results,
+    }
+
+
+def _speedup_at(sweep: dict, n_workers: int) -> Optional[float]:
+    for entry in sweep["results"]:
+        if entry["n_workers"] == n_workers:
+            return entry["speedup_vs_single_worker"]
+    return None
+
+
+def build_report() -> Tuple[dict, bool]:
+    """All measurements plus gate verdicts; returns ``(report, all_gates_ok)``."""
+    cpu_count = os.cpu_count() or 1
+    throughput = measure_throughput()
+    sweep = measure_worker_sweep()
+    gate_workers = max(WORKER_COUNTS)
+
+    batched_gate = {
+        "name": "batched_vs_per_triple_speedup",
+        "threshold": MIN_BATCHED_SPEEDUP,
+        "value": throughput["speedup"],
+        "enforced": True,
+        "passed": throughput["speedup"] >= MIN_BATCHED_SPEEDUP,
+    }
+    worker_speedup = _speedup_at(sweep, gate_workers)
+    worker_enforced = cpu_count >= gate_workers and multiprocessing_available()
+    worker_gate = {
+        "name": f"worker_speedup_at_{gate_workers}",
+        "threshold": MIN_WORKER_SPEEDUP,
+        "value": worker_speedup,
+        "enforced": worker_enforced,
+        "passed": (
+            worker_speedup is not None and worker_speedup >= MIN_WORKER_SPEEDUP
+            if worker_enforced
+            else True
+        ),
+    }
+    if not worker_enforced:
+        worker_gate["skip_reason"] = (
+            f"only {cpu_count} CPU(s) available"
+            if multiprocessing_available()
+            else "platform has no multiprocessing start method"
+        )
+    report = {
+        "benchmark": "eval_throughput",
+        "cpu_count": cpu_count,
+        "batched_vs_per_triple": throughput,
+        "worker_sweep": sweep,
+        "gates": [batched_gate, worker_gate],
+    }
+    return report, all(gate["passed"] for gate in report["gates"])
+
+
+def _print_report(report: dict) -> None:
+    throughput = report["batched_vs_per_triple"]
+    for key, value in throughput.items():
         print(f"{key:>32}: {value:,.2f}" if isinstance(value, float) else f"{key:>32}: {value}")
-    assert result["speedup"] > 1.2, f"batched path regressed below the per-triple path: {result}"
-    return result
+    print()
+    for entry in report["worker_sweep"]["results"]:
+        print(
+            f"{'workers=' + str(entry['n_workers']):>32}: "
+            f"{entry['triples_per_second']:,.0f} triples/s "
+            f"({entry['speedup_vs_single_worker']:.2f}x vs 1 worker)"
+        )
+    print()
+    for gate in report["gates"]:
+        status = "PASS" if gate["passed"] else "FAIL"
+        if not gate["enforced"]:
+            status = f"SKIP ({gate.get('skip_reason', 'not enforced')})"
+        value = "n/a" if gate["value"] is None else f"{gate['value']:.2f}x"
+        print(f"{gate['name']:>32}: {value} (threshold {gate['threshold']:.2f}x) {status}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run both measurements, write the JSON report, enforce the gates."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON_PATH,
+        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+    report, passed = build_report()
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    _print_report(report)
+    print(f"\nreport written to {args.json}")
+    if not passed:
+        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
+        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def test_batched_evaluation_is_faster():
     print()
-    main()
+    result = measure_throughput()
+    assert result["speedup"] >= MIN_BATCHED_SPEEDUP, result
+
+
+def test_sharded_sweep_is_bit_identical():
+    sweep = measure_worker_sweep(workers=(1, 2))
+    assert _speedup_at(sweep, 2) is not None
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,5 +1,31 @@
-"""Setup shim so `pip install -e .` works in offline environments without the
-`wheel` package (legacy develop-mode install); configuration is in pyproject.toml."""
-from setuptools import setup
+"""Packaging for the SIGMOD 2020 KGC re-evaluation reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) deliberately: the legacy
+develop-mode path lets ``pip install -e .`` work even in offline environments
+without the ``wheel`` package, which is how CI installs the project before
+running the test suite and the benchmark regression gate.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-kgc",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Realistic Re-evaluation of Knowledge Graph Completion "
+        "Methods: An Experimental Study' (SIGMOD 2020)"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "lint": ["ruff"],
+    },
+    entry_points={
+        "console_scripts": ["repro-kgc=repro.cli:main"],
+    },
+)

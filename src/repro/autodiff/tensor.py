@@ -82,6 +82,21 @@ class Tensor:
         label = f" name={self.name!r}" if self.name else ""
         return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
 
+    # -- pickling -------------------------------------------------------------
+    # The autodiff graph (`_backward` closures and parent links) is dropped on
+    # pickling: it is per-batch state that cannot cross a process boundary,
+    # and shipped tensors only need their values.  This is what makes trained
+    # models spawn-safe payloads for the sharded evaluation workers.
+    def __getstate__(self) -> Tuple[np.ndarray, Optional[np.ndarray], bool, Optional[str]]:
+        return (self.data, self.grad, self.requires_grad, self.name)
+
+    def __setstate__(
+        self, state: Tuple[np.ndarray, Optional[np.ndarray], bool, Optional[str]]
+    ) -> None:
+        self.data, self.grad, self.requires_grad, self.name = state
+        self._backward = None
+        self._parents = ()
+
     def numpy(self) -> np.ndarray:
         return self.data
 

@@ -167,7 +167,12 @@ def command_train(args: argparse.Namespace) -> int:
     print(f"trained {result.model_name} on {result.dataset_name}: "
           f"{result.epochs_run} epochs, final loss {result.final_loss:.4f}, {result.seconds:.1f}s")
     evaluation = evaluate_model(
-        model, dataset, model_name=args.model, eval_batch_size=args.eval_batch_size
+        model,
+        dataset,
+        model_name=args.model,
+        eval_batch_size=args.eval_batch_size,
+        n_workers=args.eval_workers,
+        shard_size=args.eval_shard_size,
     )
     print(render_table([evaluation.as_row()], title="Link prediction"))
     return 0
@@ -187,6 +192,8 @@ def command_experiment(args: argparse.Namespace) -> int:
         dim=args.dim,
         epochs=args.epochs,
         eval_batch_size=args.eval_batch_size,
+        eval_workers=args.eval_workers,
+        eval_shard_size=args.eval_shard_size,
     )
     workbench = Workbench(config)
     for key in keys:
@@ -208,6 +215,27 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", default="tiny", help="synthetic benchmark scale (tiny/small/medium)")
         sub.add_argument("--seed", type=int, default=13, help="random seed")
 
+    def add_eval_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--eval-batch-size",
+            type=int,
+            default=DEFAULT_EVAL_BATCH_SIZE,
+            help="unique link-prediction queries scored per batched evaluator call",
+        )
+        sub.add_argument(
+            "--eval-workers",
+            type=int,
+            default=1,
+            help="worker processes for sharded link-prediction evaluation "
+            "(1 = exact in-process path; results are bit-identical at any count)",
+        )
+        sub.add_argument(
+            "--eval-shard-size",
+            type=int,
+            default=None,
+            help="queries per evaluation shard (default: one balanced shard per worker)",
+        )
+
     generate = subparsers.add_parser("generate", help="build and export the six benchmark replicas")
     add_common(generate)
     generate.add_argument("--output", default="exported_datasets", help="output directory")
@@ -228,12 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--learning-rate", type=float, default=0.05)
     train.add_argument("--negatives", type=int, default=4)
-    train.add_argument(
-        "--eval-batch-size",
-        type=int,
-        default=DEFAULT_EVAL_BATCH_SIZE,
-        help="unique link-prediction queries scored per batched evaluator call",
-    )
+    add_eval_options(train)
     train.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
     train.set_defaults(handler=command_train)
 
@@ -242,12 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help=f"experiment key ({', '.join(EXPERIMENT_INDEX)}) or 'all'")
     experiment.add_argument("--dim", type=int, default=16)
     experiment.add_argument("--epochs", type=int, default=25)
-    experiment.add_argument(
-        "--eval-batch-size",
-        type=int,
-        default=DEFAULT_EVAL_BATCH_SIZE,
-        help="unique link-prediction queries scored per batched evaluator call",
-    )
+    add_eval_options(experiment)
     experiment.set_defaults(handler=command_experiment)
 
     return parser

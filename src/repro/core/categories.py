@@ -8,7 +8,7 @@ average below 1.5 counts as "1", otherwise "n".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from ..kg.dataset import Dataset
 from ..kg.triples import TripleSet

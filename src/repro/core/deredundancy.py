@@ -21,7 +21,7 @@ redundancy (never the generator metadata), so they apply to any dataset.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet

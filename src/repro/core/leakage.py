@@ -18,7 +18,7 @@ test triples whose reverse is in training, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet

@@ -7,7 +7,7 @@ and columns the paper's tables contain.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 def format_cell(value) -> str:

@@ -15,6 +15,12 @@ from .ranking import (
     RankRecord,
     evaluate_model,
 )
+from .sharding import (
+    evaluate_shards,
+    multiprocessing_available,
+    plan_shards,
+    rank_shard,
+)
 from .comparison import (
     best_model_counts,
     category_best_model_breakdown,
@@ -35,6 +41,10 @@ __all__ = [
     "EvaluationResult",
     "LinkPredictionEvaluator",
     "evaluate_model",
+    "evaluate_shards",
+    "multiprocessing_available",
+    "plan_shards",
+    "rank_shard",
     "best_model_counts",
     "per_relation_win_percentages",
     "outperformance_redundancy_share",

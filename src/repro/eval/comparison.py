@@ -8,7 +8,7 @@ headline tables and every break-down without re-ranking anything.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..kg.triples import Triple
 from .metrics import MetricPair, RankingMetrics, better_of
@@ -202,15 +202,13 @@ def category_side_hits(
     for model, result in results.items():
         table[model] = {}
         for category in sorted(set(relation_categories.values())):
-            in_category = lambda record, category=category: (
-                relation_categories.get(record.relation, "n-m") == category
-            )
             per_side: Dict[str, float] = {}
             for side in ("head", "tail"):
                 ranks = [
                     record.filtered_rank
                     for record in result.records
-                    if record.side == side and in_category(record)
+                    if record.side == side
+                    and relation_categories.get(record.relation, "n-m") == category
                 ]
                 per_side[side] = 100.0 * RankingMetrics.from_ranks(ranks).hits_at_10 if ranks else float("nan")
             table[model][category] = per_side

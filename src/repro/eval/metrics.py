@@ -11,7 +11,7 @@ code serves whole-dataset rows (Tables 5/6/11), per-relation break-downs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 @dataclass(frozen=True)

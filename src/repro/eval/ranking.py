@@ -35,6 +35,13 @@ The original per-triple protocol — including the models' seed scoring
 semantics — is preserved behind ``evaluate(..., batched=False)``, and the
 regression suite asserts rank identity between the two paths for every
 scorer family.
+
+Because unique queries are fully independent, the batched path also runs
+**sharded across worker processes** (``n_workers >= 2``): the unique-query
+order is partitioned into contiguous shards, workers rank each shard with the
+very same kernel the in-process path uses, and the per-shard rank arrays are
+merged back deterministically — see :mod:`repro.eval.sharding`.  Metrics are
+bit-identical to the single-process batched path at any worker count.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ import numpy as np
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet
 from .metrics import MetricPair, RankingMetrics, metrics_from_rank_pairs
+from .sharding import ShardEntry, evaluate_shards, rank_shard
 
 #: Unique queries scored per batched scorer call; bounds the (B, E) score
 #: matrix so large-scale evaluations stay memory-bounded.
@@ -163,9 +171,19 @@ class LinkPredictionEvaluator:
         filter_triples: Optional[Iterable[Triple]] = None,
         extra_ground_truth: Optional[TripleSet] = None,
         eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
+        n_workers: int = 1,
+        shard_size: Optional[int] = None,
+        mp_start_method: Optional[str] = None,
     ) -> None:
         self.dataset = dataset
         self.eval_batch_size = max(1, int(eval_batch_size))
+        #: Worker processes for the sharded batched path; ``1`` keeps the
+        #: exact in-process evaluation (no pool is ever created).
+        self.n_workers = max(1, int(n_workers))
+        #: Queries per shard (``None`` = one balanced shard per worker).
+        self.shard_size = None if shard_size is None else max(1, int(shard_size))
+        #: Multiprocessing start method override (``None`` = platform best).
+        self.mp_start_method = mp_start_method
         known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
         if extra_ground_truth is not None:
             known |= extra_ground_truth.as_set()
@@ -186,97 +204,57 @@ class LinkPredictionEvaluator:
         }
 
     # -- batched ranking internals ----------------------------------------------------
-    def _score_queries(
-        self, scorer: CandidateScorer, queries: Sequence[Tuple[int, int]], side: str
-    ) -> np.ndarray:
-        """(len(queries), E) score matrix, via the batched contract when available.
+    def _side_work(
+        self, triples: Sequence[Triple], side: str
+    ) -> Tuple[List[ShardEntry], List[List[int]]]:
+        """Deduplicated shard entries for one side plus their triple positions.
 
-        Query tuples are already in the batched methods' argument order:
-        ``(head, relation)`` for the tail side, ``(relation, tail)`` for the
-        head side.
+        Returns ``(entries, positions)`` where ``entries[i]`` is the i-th
+        unique query with its target array, and ``positions[i]`` lists the
+        triple positions its ranks scatter back to (aligned with the targets).
         """
-        batch_fn = getattr(
-            scorer, "score_tails_batch" if side == "tail" else "score_heads_batch", None
-        )
-        if batch_fn is not None:
-            first = np.fromiter((a for a, _ in queries), dtype=np.int64, count=len(queries))
-            second = np.fromiter((b for _, b in queries), dtype=np.int64, count=len(queries))
-            return np.asarray(batch_fn(first, second), dtype=np.float64)
-        single_fn = scorer.score_all_tails if side == "tail" else scorer.score_all_heads
-        return np.stack(
-            [np.asarray(single_fn(a, b), dtype=np.float64) for a, b in queries]
-        )
-
-    @staticmethod
-    def _mean_tie_ranks(
-        scores: np.ndarray, targets: np.ndarray, known: Optional[np.ndarray]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Raw and filtered mean-tie ranks of ``targets`` within one score row.
-
-        All quantities are exact comparison counts, so the result is
-        bit-identical to the per-triple masked computation.
-        """
-        target_scores = scores[targets]                                    # (M,)
-        greater = (scores[None, :] > target_scores[:, None]).sum(axis=1).astype(np.float64)
-        equal = (scores[None, :] == target_scores[:, None]).sum(axis=1).astype(np.float64)
-        tied_others = np.maximum(equal - 1.0, 0.0)
-        raw = 1.0 + greater + tied_others / 2.0
-        if known is None or not len(known):
-            return raw, raw.copy()
-        known_scores = scores[known]                                       # (K,)
-        known_greater = (known_scores[None, :] > target_scores[:, None]).sum(axis=1)
-        known_equal = (known_scores[None, :] == target_scores[:, None]).sum(axis=1)
-        contains_target = (known[None, :] == targets[:, None]).sum(axis=1)
-        # Removing known\{target} cannot remove the target itself: its own
-        # equality hit is added back before re-deriving the tie count.
-        filtered_greater = greater - known_greater
-        filtered_equal = equal - (known_equal - contains_target)
-        filtered_tied_others = np.maximum(filtered_equal - 1.0, 0.0)
-        filtered = 1.0 + filtered_greater + filtered_tied_others / 2.0
-        return raw, filtered
-
-    def _ranks_for_side(
-        self,
-        scorer: CandidateScorer,
-        triples: Sequence[Triple],
-        side: str,
-        eval_batch_size: int,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Raw/filtered rank arrays aligned with ``triples`` for one side."""
         groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         order: List[Tuple[int, int]] = []
         for position, (h, r, t) in enumerate(triples):
             query = (h, r) if side == "tail" else (r, t)
-            entries = groups.get(query)
-            if entries is None:
-                groups[query] = entries = []
+            members = groups.get(query)
+            if members is None:
+                groups[query] = members = []
                 order.append(query)
-            entries.append((position, t if side == "tail" else h))
+            members.append((position, t if side == "tail" else h))
         # Score unique queries in sorted order: ranks are written back by
         # triple position, so the order is unobservable, but sorting clusters
         # the head side by relation — letting scorers whose cost is dominated
         # by a per-relation precomputation (ConvE's all-entity convolution)
         # reuse it across a whole chunk instead of once per interleaved query.
         order.sort()
-        known_index = self._known_tails if side == "tail" else self._known_heads
-        raw = np.empty(len(triples))
-        filtered = np.empty(len(triples))
-        for start in range(0, len(order), eval_batch_size):
-            chunk = order[start:start + eval_batch_size]
-            score_matrix = self._score_queries(scorer, chunk, side)
-            for scores, query in zip(score_matrix, chunk):
-                entries = groups[query]
-                targets = np.fromiter(
-                    (target for _, target in entries), dtype=np.int64, count=len(entries)
-                )
-                raw_ranks, filtered_ranks = self._mean_tie_ranks(
-                    scores, targets, known_index.get(query)
-                )
-                for (position, _), raw_rank, filtered_rank in zip(
-                    entries, raw_ranks, filtered_ranks
-                ):
-                    raw[position] = raw_rank
-                    filtered[position] = filtered_rank
+        entries: List[ShardEntry] = []
+        positions: List[List[int]] = []
+        for query in order:
+            members = groups[query]
+            targets = np.fromiter(
+                (target for _, target in members), dtype=np.int64, count=len(members)
+            )
+            entries.append((query, targets))
+            positions.append([position for position, _ in members])
+        return entries, positions
+
+    @staticmethod
+    def _scatter_ranks(
+        ranks: Tuple[np.ndarray, np.ndarray],
+        positions: Sequence[Sequence[int]],
+        num_triples: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter concatenated per-entry ranks back to triple positions."""
+        raw_concat, filtered_concat = ranks
+        raw = np.empty(num_triples)
+        filtered = np.empty(num_triples)
+        offset = 0
+        for entry_positions in positions:
+            for position in entry_positions:
+                raw[position] = raw_concat[offset]
+                filtered[position] = filtered_concat[offset]
+                offset += 1
         return raw, filtered
 
     # -- evaluation ----------------------------------------------------------------
@@ -288,12 +266,17 @@ class LinkPredictionEvaluator:
         sides: Tuple[str, ...] = ("head", "tail"),
         batched: bool = True,
         eval_batch_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
     ) -> EvaluationResult:
         """Rank every test triple on the requested sides.
 
         ``batched=False`` selects the per-triple reference protocol (one
         scoring call and one mask copy per triple) kept for regression tests
-        and throughput comparisons.
+        and throughput comparisons.  ``n_workers`` / ``shard_size`` override
+        the evaluator-level sharding knobs for this run; ``n_workers >= 2``
+        shards the unique-query order across worker processes with a
+        deterministic merge (bit-identical ranks at any worker count).
         """
         triples = list(test_triples) if test_triples is not None else list(self.dataset.test)
         name = model_name or getattr(scorer, "name", type(scorer).__name__)
@@ -301,8 +284,29 @@ class LinkPredictionEvaluator:
         if not batched:
             return self._evaluate_per_triple(scorer, triples, result, sides)
         batch_size = self.eval_batch_size if eval_batch_size is None else max(1, int(eval_batch_size))
-        tail_ranks = self._ranks_for_side(scorer, triples, "tail", batch_size) if "tail" in sides else None
-        head_ranks = self._ranks_for_side(scorer, triples, "head", batch_size) if "head" in sides else None
+        workers = self.n_workers if n_workers is None else max(1, int(n_workers))
+        shards = self.shard_size if shard_size is None else max(1, int(shard_size))
+        work: Dict[str, List[ShardEntry]] = {}
+        positions: Dict[str, List[List[int]]] = {}
+        for side in ("tail", "head"):
+            if side in sides:
+                work[side], positions[side] = self._side_work(triples, side)
+        known = {"tail": self._known_tails, "head": self._known_heads}
+        if workers > 1:
+            side_ranks = evaluate_shards(
+                scorer, work, known, workers, shards, batch_size, self.mp_start_method
+            )
+        else:
+            side_ranks = {
+                side: rank_shard(scorer, entries, side, known[side], batch_size)
+                for side, entries in work.items()
+            }
+        scattered = {
+            side: self._scatter_ranks(side_ranks[side], positions[side], len(triples))
+            for side in work
+        }
+        tail_ranks = scattered.get("tail")
+        head_ranks = scattered.get("head")
         for position, (h, r, t) in enumerate(triples):
             if tail_ranks is not None:
                 result.records.append(
@@ -355,9 +359,15 @@ def evaluate_model(
     extra_ground_truth: Optional[TripleSet] = None,
     model_name: Optional[str] = None,
     eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
+    n_workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> EvaluationResult:
     """Convenience wrapper constructing the evaluator with default filtering."""
     evaluator = LinkPredictionEvaluator(
-        dataset, extra_ground_truth=extra_ground_truth, eval_batch_size=eval_batch_size
+        dataset,
+        extra_ground_truth=extra_ground_truth,
+        eval_batch_size=eval_batch_size,
+        n_workers=n_workers,
+        shard_size=shard_size,
     )
     return evaluator.evaluate(scorer, test_triples=test_triples, model_name=model_name)

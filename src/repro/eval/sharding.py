@@ -1,0 +1,253 @@
+"""Sharded multi-process link-prediction evaluation.
+
+The batched ranking protocol reduces evaluation to scoring a stream of
+deduplicated ``(h, r)`` / ``(r, t)`` queries, and every query's raw and
+filtered mean-tie ranks depend only on its own ``(E,)`` score row, its target
+entities and its known-completion filter — queries are fully independent
+subproblems.  This module exploits that independence: the unique-query order
+is partitioned into contiguous **shards**, each shard is ranked in a worker
+process, and the per-shard rank arrays are concatenated back in shard order,
+so the merged result is bit-identical to ranking the whole order in-process.
+
+Design constraints, in decreasing order of importance:
+
+* **Determinism.** ``plan_shards`` depends only on its arguments, workers are
+  mapped over shards with ``Pool.map`` (which preserves submission order), and
+  the merge is a plain concatenation — no completion-order nondeterminism can
+  leak into the ranks.
+* **Bit-identity.** Workers run :func:`rank_shard`, the *same* function the
+  in-process path uses, with the same ``eval_batch_size`` chunking; rank
+  extraction is exact comparison counting, so shard boundaries are
+  unobservable in the output.
+* **Spawn safety.** The worker entry points are module-level functions, the
+  scorer and the known-completion filter index are shipped exactly once per
+  worker through the pool initializer (not once per shard), and
+  :mod:`repro.autodiff` tensors drop their autodiff graph on pickling, so the
+  subsystem works under ``fork``, ``forkserver`` and ``spawn`` alike.
+* **Graceful fallback.** ``n_workers=1`` (or an empty workload, or a platform
+  without multiprocessing start methods) never creates a pool — it is the
+  exact in-process batched path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: A deduplicated link-prediction query: ``(head, relation)`` on the tail
+#: side, ``(relation, tail)`` on the head side.
+Query = Tuple[int, int]
+
+#: One unit of shard work: a query plus the target entities whose ranks the
+#: test split needs from its score row.
+ShardEntry = Tuple[Query, np.ndarray]
+
+#: Per-worker state installed by :func:`_init_worker`; lives in the worker
+#: process only.
+_WORKER_STATE: Optional[Tuple[object, Dict[str, Dict[Query, np.ndarray]], int]] = None
+
+
+# ---------------------------------------------------------------------------- planning
+def resolve_start_method(preferred: Optional[str] = None) -> str:
+    """The multiprocessing start method the evaluator should use.
+
+    ``fork`` is preferred where available (no re-import, the scorer ships by
+    page sharing); otherwise the platform's first supported method is used.
+    An explicit ``preferred`` must be supported on this platform.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} not supported here; available: {available}"
+            )
+        return preferred
+    if not available:  # pragma: no cover - no known platform hits this
+        raise RuntimeError("platform supports no multiprocessing start method")
+    return "fork" if "fork" in available else available[0]
+
+
+def multiprocessing_available() -> bool:
+    """Whether any process start method exists on this platform."""
+    return bool(multiprocessing.get_all_start_methods())
+
+
+def plan_shards(
+    num_queries: int, n_workers: int, shard_size: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Contiguous, deterministic ``[start, stop)`` bounds covering the query order.
+
+    With ``shard_size=None`` the order is split into one balanced shard per
+    worker (the remainder spread over the leading shards); an explicit
+    ``shard_size`` yields ``ceil(num_queries / shard_size)`` shards for
+    finer-grained load balancing across heterogeneous queries.  Empty shards
+    are never produced, so ``n_workers > num_queries`` simply yields
+    ``num_queries`` singleton shards.
+    """
+    if num_queries <= 0:
+        return []
+    n_workers = max(1, int(n_workers))
+    if shard_size is not None:
+        step = max(1, int(shard_size))
+        return [
+            (start, min(start + step, num_queries))
+            for start in range(0, num_queries, step)
+        ]
+    shards: List[Tuple[int, int]] = []
+    base, remainder = divmod(num_queries, n_workers)
+    start = 0
+    for index in range(min(n_workers, num_queries)):
+        stop = start + base + (1 if index < remainder else 0)
+        if stop > start:
+            shards.append((start, stop))
+        start = stop
+    return shards
+
+
+# ---------------------------------------------------------------------------- ranking kernels
+def score_query_chunk(scorer, queries: Sequence[Query], side: str) -> np.ndarray:
+    """``(len(queries), E)`` score matrix, via the batched contract when available.
+
+    Query tuples are already in the batched methods' argument order:
+    ``(head, relation)`` for the tail side, ``(relation, tail)`` for the
+    head side.  Scorers without the batched contract fall back to one
+    ``score_all_*`` call per query.
+    """
+    batch_fn = getattr(
+        scorer, "score_tails_batch" if side == "tail" else "score_heads_batch", None
+    )
+    if batch_fn is not None:
+        first = np.fromiter((a for a, _ in queries), dtype=np.int64, count=len(queries))
+        second = np.fromiter((b for _, b in queries), dtype=np.int64, count=len(queries))
+        return np.asarray(batch_fn(first, second), dtype=np.float64)
+    single_fn = scorer.score_all_tails if side == "tail" else scorer.score_all_heads
+    return np.stack([np.asarray(single_fn(a, b), dtype=np.float64) for a, b in queries])
+
+
+def mean_tie_ranks(
+    scores: np.ndarray, targets: np.ndarray, known: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw and filtered mean-tie ranks of ``targets`` within one score row.
+
+    All quantities are exact comparison counts, so the result is bit-identical
+    to the per-triple masked computation regardless of batching or sharding.
+    """
+    target_scores = scores[targets]                                    # (M,)
+    greater = (scores[None, :] > target_scores[:, None]).sum(axis=1).astype(np.float64)
+    equal = (scores[None, :] == target_scores[:, None]).sum(axis=1).astype(np.float64)
+    tied_others = np.maximum(equal - 1.0, 0.0)
+    raw = 1.0 + greater + tied_others / 2.0
+    if known is None or not len(known):
+        return raw, raw.copy()
+    known_scores = scores[known]                                       # (K,)
+    known_greater = (known_scores[None, :] > target_scores[:, None]).sum(axis=1)
+    known_equal = (known_scores[None, :] == target_scores[:, None]).sum(axis=1)
+    contains_target = (known[None, :] == targets[:, None]).sum(axis=1)
+    # Removing known\{target} cannot remove the target itself: its own
+    # equality hit is added back before re-deriving the tie count.
+    filtered_greater = greater - known_greater
+    filtered_equal = equal - (known_equal - contains_target)
+    filtered_tied_others = np.maximum(filtered_equal - 1.0, 0.0)
+    filtered = 1.0 + filtered_greater + filtered_tied_others / 2.0
+    return raw, filtered
+
+
+def rank_shard(
+    scorer,
+    entries: Sequence[ShardEntry],
+    side: str,
+    known_index: Dict[Query, np.ndarray],
+    eval_batch_size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw/filtered ranks of one shard, concatenated in entry order.
+
+    Each entry contributes ``len(targets)`` consecutive ranks.  This is the
+    single ranking implementation: the in-process path runs it on the whole
+    query order, workers run it on their shard.
+    """
+    eval_batch_size = max(1, int(eval_batch_size))
+    raw_parts: List[np.ndarray] = []
+    filtered_parts: List[np.ndarray] = []
+    for start in range(0, len(entries), eval_batch_size):
+        chunk = entries[start:start + eval_batch_size]
+        score_matrix = score_query_chunk(scorer, [query for query, _ in chunk], side)
+        for scores, (query, targets) in zip(score_matrix, chunk):
+            raw_ranks, filtered_ranks = mean_tie_ranks(
+                scores, targets, known_index.get(query)
+            )
+            raw_parts.append(raw_ranks)
+            filtered_parts.append(filtered_ranks)
+    if not raw_parts:
+        return np.empty(0), np.empty(0)
+    return np.concatenate(raw_parts), np.concatenate(filtered_parts)
+
+
+# ---------------------------------------------------------------------------- worker plumbing
+def _init_worker(
+    scorer, known: Dict[str, Dict[Query, np.ndarray]], eval_batch_size: int
+) -> None:
+    """Pool initializer: install the scorer and filter index once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = (scorer, known, eval_batch_size)
+
+
+def _rank_shard_task(task: Tuple[str, List[ShardEntry]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker entry point: rank one shard against the installed state."""
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    scorer, known, eval_batch_size = _WORKER_STATE
+    side, entries = task
+    return rank_shard(scorer, entries, side, known.get(side, {}), eval_batch_size)
+
+
+def evaluate_shards(
+    scorer,
+    work: Dict[str, Sequence[ShardEntry]],
+    known: Dict[str, Dict[Query, np.ndarray]],
+    n_workers: int,
+    shard_size: Optional[int],
+    eval_batch_size: int,
+    start_method: Optional[str] = None,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Rank every side's query order, sharded across worker processes.
+
+    ``work`` maps a side (``"tail"`` / ``"head"``) to its ordered shard
+    entries; the returned arrays are concatenated in that same order, so the
+    caller scatters them back to triple positions exactly as it would the
+    in-process result.  ``n_workers <= 1``, an empty workload, or a platform
+    without multiprocessing support all take the exact in-process path.
+    """
+    n_workers = max(1, int(n_workers))
+    total_entries = sum(len(entries) for entries in work.values())
+    if n_workers == 1 or total_entries == 0 or not multiprocessing_available():
+        return {
+            side: rank_shard(scorer, entries, side, known.get(side, {}), eval_batch_size)
+            for side, entries in work.items()
+        }
+    tasks: List[Tuple[str, List[ShardEntry]]] = []
+    for side, entries in work.items():
+        for start, stop in plan_shards(len(entries), n_workers, shard_size):
+            tasks.append((side, list(entries[start:stop])))
+    context = multiprocessing.get_context(resolve_start_method(start_method))
+    processes = min(n_workers, len(tasks))
+    with context.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(scorer, known, eval_batch_size),
+    ) as pool:
+        # Pool.map preserves task submission order: the merge below is a
+        # deterministic concatenation, independent of completion order.
+        shard_results = pool.map(_rank_shard_task, tasks)
+    raw_parts: Dict[str, List[np.ndarray]] = {side: [] for side in work}
+    filtered_parts: Dict[str, List[np.ndarray]] = {side: [] for side in work}
+    for (side, _), (raw, filtered) in zip(tasks, shard_results):
+        raw_parts[side].append(raw)
+        filtered_parts[side].append(filtered)
+    return {
+        side: (
+            np.concatenate(raw_parts[side]) if raw_parts[side] else np.empty(0),
+            np.concatenate(filtered_parts[side]) if filtered_parts[side] else np.empty(0),
+        )
+        for side in work
+    }

@@ -64,10 +64,15 @@ def table3_cartesian_predictor(workbench: Workbench) -> Dict[str, object]:
     cartesian_predictor = CartesianProductPredictor(
         dataset.train, dataset.num_entities, density_threshold=0.75
     )
-    eval_batch_size = workbench.config.eval_batch_size
-    benchmark_evaluator = LinkPredictionEvaluator(dataset, eval_batch_size=eval_batch_size)
+    config = workbench.config
+    evaluator_knobs = dict(
+        eval_batch_size=config.eval_batch_size,
+        n_workers=config.eval_workers,
+        shard_size=config.eval_shard_size,
+    )
+    benchmark_evaluator = LinkPredictionEvaluator(dataset, **evaluator_knobs)
     snapshot_evaluator = LinkPredictionEvaluator(
-        dataset, extra_ground_truth=snapshot_triples, eval_batch_size=eval_batch_size
+        dataset, extra_ground_truth=snapshot_triples, **evaluator_knobs
     )
 
     rows: List[Dict[str, object]] = []

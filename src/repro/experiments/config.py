@@ -10,7 +10,7 @@ benchmark session trains each (model, dataset) pair exactly once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.baselines import SimpleRuleModel
@@ -54,6 +54,11 @@ class ExperimentConfig:
     learning_rate: float = 0.05
     #: Unique link-prediction queries scored per batched evaluator call.
     eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE
+    #: Worker processes for the sharded link-prediction evaluation
+    #: (``1`` = exact in-process batched path, no pool).
+    eval_workers: int = 1
+    #: Queries per evaluation shard (``None`` = one balanced shard per worker).
+    eval_shard_size: Optional[int] = None
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
@@ -184,7 +189,10 @@ class Workbench:
             return self._evaluations[key]
         dataset = self.dataset(dataset_name)
         evaluator = LinkPredictionEvaluator(
-            dataset, eval_batch_size=self.config.eval_batch_size
+            dataset,
+            eval_batch_size=self.config.eval_batch_size,
+            n_workers=self.config.eval_workers,
+            shard_size=self.config.eval_shard_size,
         )
         result = evaluator.evaluate(
             self.scorer(model_name, dataset_name), model_name=model_name

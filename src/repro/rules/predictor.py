@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Tuple
 import numpy as np
 
 from ..kg.triples import TripleSet
-from .rule import Rule, X, Y, Z
+from .rule import Rule, X, Y
 
 
 class RuleBasedPredictor:

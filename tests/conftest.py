@@ -1,6 +1,10 @@
-"""Shared fixtures: tiny synthetic benchmarks and a handcrafted toy dataset."""
+"""Shared fixtures: tiny synthetic benchmarks, a handcrafted toy dataset, and
+the multi-process test guard (skip without fork/spawn, cap worker counts)."""
 
 from __future__ import annotations
+
+import multiprocessing
+import os
 
 import pytest
 
@@ -14,6 +18,46 @@ from repro.kg import (
     wn18_like,
     yago3_like,
 )
+
+
+def _multiprocessing_supported() -> bool:
+    return bool(multiprocessing.get_all_start_methods())
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "multiprocess: the test spawns evaluation worker processes; skipped on "
+        "platforms without fork/spawn/forkserver support",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``multiprocess``-marked tests where no start method exists."""
+    if _multiprocessing_supported():
+        return
+    skip = pytest.mark.skip(reason="platform supports no multiprocessing start method")
+    for item in items:
+        if "multiprocess" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session")
+def capped_workers():
+    """Clamp requested evaluation worker counts to ``REPRO_TEST_MAX_WORKERS``.
+
+    CI runners set the variable so multi-process tests never oversubscribe the
+    shared machines; without it the requested count is used as-is.  The clamp
+    never changes results — sharded ranks are bit-identical at any count.
+    """
+
+    def cap(requested: int) -> int:
+        limit = os.environ.get("REPRO_TEST_MAX_WORKERS", "").strip()
+        if limit:
+            return max(1, min(int(requested), int(limit)))
+        return int(requested)
+
+    return cap
 
 
 @pytest.fixture(scope="session")

@@ -73,6 +73,26 @@ def test_workbench_caches_scorers_and_evaluations(workbench):
     assert workbench.evaluation("TransE", FB15K) is workbench.evaluation("TransE", FB15K)
 
 
+@pytest.mark.multiprocess
+def test_workbench_sharded_evaluation_matches_single_process(workbench, capped_workers):
+    """A sharded workbench reports bit-identical metrics for the same scorer."""
+    single = workbench.evaluation("DistMult", WN18RR)
+    sharded_bench = Workbench(
+        ExperimentConfig(
+            scale="tiny",
+            seed=13,
+            dim=16,
+            epochs=10,
+            num_negatives=2,
+            models=("DistMult",),
+            eval_workers=capped_workers(2),
+            eval_shard_size=8,
+        )
+    )
+    sharded = sharded_bench.evaluation("DistMult", WN18RR)
+    assert single.metrics().as_dict() == sharded.metrics().as_dict()
+
+
 def test_workbench_lineup_includes_amie(workbench):
     lineup = workbench.lineup()
     assert lineup[-1] == "AMIE"

@@ -5,7 +5,6 @@ on the real datasets: reverse-pair coverage, duplicate relations, Cartesian
 product relations, symmetric relations and dataset composition.
 """
 
-import numpy as np
 import pytest
 
 from repro.kg import (

@@ -62,6 +62,38 @@ def test_train_subcommand_runs_and_reports_metrics(capsys):
     assert "FMRR" in output
 
 
+@pytest.mark.multiprocess
+def test_train_subcommand_with_sharded_evaluation(capsys, capped_workers):
+    exit_code = main(
+        [
+            "train",
+            "--dataset", "wn18rr",
+            "--model", "DistMult",
+            "--scale", "tiny",
+            "--dim", "8",
+            "--epochs", "2",
+            "--eval-workers", str(capped_workers(2)),
+            "--eval-shard-size", "4",
+            "--quiet",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "trained DistMult" in output
+    assert "FMRR" in output
+
+
+def test_eval_worker_flags_are_parsed():
+    args = build_parser().parse_args(
+        ["experiment", "table1", "--eval-workers", "3", "--eval-shard-size", "16"]
+    )
+    assert args.eval_workers == 3
+    assert args.eval_shard_size == 16
+    defaults = build_parser().parse_args(["train"])
+    assert defaults.eval_workers == 1
+    assert defaults.eval_shard_size is None
+
+
 def test_experiment_subcommand_single_table(capsys):
     exit_code = main(["experiment", "table1", "--scale", "tiny", "--epochs", "2", "--dim", "8"])
     assert exit_code == 0
