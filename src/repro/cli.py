@@ -1,12 +1,17 @@
 """Command-line interface for the reproduction toolkit.
 
-Four subcommands cover the workflows a downstream user needs:
+Five subcommands cover the workflows a downstream user needs:
 
 ``repro-kgc generate``
     Build the six benchmark replicas and export them as TSV directories.
 ``repro-kgc audit``
     Run the paper's §4 redundancy / leakage / Cartesian audit on a dataset
     (a generated replica by name, or any TSV dataset directory on disk).
+``repro-kgc ingest``
+    Stream a (possibly gzipped) TSV dataset directory through the
+    bounded-memory ingestion pipeline: single-pass audit, optional
+    de-redundification, optional re-export — without ever materializing a
+    full split as labelled Python objects.
 ``repro-kgc train``
     Train one embedding model on one dataset and report raw + filtered
     link-prediction metrics.
@@ -27,6 +32,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import (
+    StreamingPairIndexBuilder,
     analyse_leakage,
     analyse_redundancy,
     category_distribution,
@@ -35,15 +41,20 @@ from .core import (
     make_fb15k237_like,
     make_wn18rr_like,
     make_yago_dr_like,
+    remove_redundant_relations,
     render_key_values,
     render_table,
 )
 from .eval import DEFAULT_EVAL_BATCH_SIZE, evaluate_model
 from .experiments import EXPERIMENT_INDEX, ExperimentConfig, Workbench
 from .kg import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_QUEUE_CHUNKS,
     Dataset,
+    DatasetIOError,
     dataset_statistics,
     fb15k_like,
+    ingest_dataset,
     load_dataset,
     save_dataset,
     wn18_like,
@@ -139,6 +150,88 @@ def command_audit(args: argparse.Namespace) -> int:
         category_distribution(dataset_relation_categories(dataset)),
         title="Test-relation cardinality categories",
     ))
+    return 0
+
+
+def command_ingest(args: argparse.Namespace) -> int:
+    """Stream-ingest a TSV directory: audit, optionally de-redundify and export."""
+    directory = Path(args.input)
+    audit_index = StreamingPairIndexBuilder()
+
+    def report_progress(progress) -> None:
+        print(
+            f"[ingest] {progress.split}: {progress.triples} triples in "
+            f"{progress.chunks} chunks (resident {progress.resident_triples}, "
+            f"peak {progress.peak_resident_triples})",
+            file=sys.stderr,
+        )
+
+    try:
+        report = ingest_dataset(
+            directory,
+            name=args.name,
+            chunk_size=args.chunk_size,
+            max_queue_chunks=args.max_queue_chunks,
+            gzipped=True if args.gzip else None,
+            observers=(audit_index.observe,),
+            progress=report_progress if args.progress else None,
+            progress_every_chunks=args.progress_every,
+        )
+    except DatasetIOError as error:
+        raise SystemExit(f"ingest failed: {error}")
+    dataset = report.dataset
+
+    print(render_table(
+        [report.statistics.as_row()],
+        title=f"Ingested {dataset.name} (streaming, chunk_size={report.chunk_size})",
+    ))
+    print()
+    print(render_key_values(
+        {
+            "parsed triples": report.total_triples,
+            "chunks": report.total_chunks,
+            "peak resident labelled triples": report.peak_resident_triples,
+            "residency bound (chunk x queue)": report.residency_bound,
+            "ingest seconds": round(report.seconds, 3),
+            "triples / second": round(report.triples_per_second, 1),
+        },
+        title="Pipeline",
+    ))
+
+    redundancy = audit_index.report(args.theta, args.theta)
+    leakage = analyse_leakage(dataset, redundancy)
+    cartesian = find_cartesian_relations(
+        pair_sets=audit_index.pair_sets, density_threshold=args.theta
+    )
+    print()
+    print(render_key_values(
+        {
+            "reverse relation pairs": len(redundancy.reverse_pairs),
+            "duplicate relation pairs": len(redundancy.duplicate_pairs),
+            "reverse-duplicate relation pairs": len(redundancy.reverse_duplicate_pairs),
+            "symmetric relations": len(redundancy.symmetric_relations),
+            "Cartesian product relations": len(cartesian),
+            "test triples with any redundancy": leakage.test_redundant_share,
+        },
+        title=f"Redundancy summary (theta = {args.theta}, streamed index)",
+    ))
+
+    if args.deredundify:
+        dataset = remove_redundant_relations(
+            dataset,
+            theta_1=args.theta,
+            theta_2=args.theta,
+            report=redundancy,
+        )
+        print()
+        print(render_table(
+            [dataset_statistics(dataset).as_row()],
+            title=f"De-redundified to {dataset.name}",
+        ))
+
+    if args.output:
+        save_dataset(dataset, Path(args.output))
+        print(f"\ndataset written to {args.output}")
     return 0
 
 
@@ -246,6 +339,47 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
     audit.add_argument("--theta", type=float, default=0.8, help="overlap / density threshold")
     audit.set_defaults(handler=command_audit)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream-ingest a TSV dataset directory under a bounded memory budget",
+    )
+    ingest.add_argument("--input", required=True, help="TSV dataset directory (train/valid/test)")
+    ingest.add_argument("--name", default=None, help="dataset name override")
+    ingest.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="labelled triples per pipeline chunk",
+    )
+    ingest.add_argument(
+        "--max-queue-chunks",
+        type=int,
+        default=DEFAULT_MAX_QUEUE_CHUNKS,
+        help="bounded-queue depth in chunks; peak residency is chunk-size * (this + 2)",
+    )
+    ingest.add_argument(
+        "--gzip",
+        action="store_true",
+        help="read gzip-compressed split files (train.txt.gz, ...); default auto-detects",
+    )
+    ingest.add_argument("--theta", type=float, default=0.8, help="overlap / density threshold")
+    ingest.add_argument(
+        "--deredundify",
+        action="store_true",
+        help="apply the generic de-redundancy transform using the streamed audit",
+    )
+    ingest.add_argument("--output", default=None, help="re-export the (de-redundified) dataset here")
+    ingest.add_argument(
+        "--progress", action="store_true", help="report pipeline progress on stderr"
+    )
+    ingest.add_argument(
+        "--progress-every",
+        type=int,
+        default=50,
+        help="chunks between progress reports",
+    )
+    ingest.set_defaults(handler=command_ingest)
 
     train = subparsers.add_parser("train", help="train and evaluate one embedding model")
     add_common(train)

@@ -5,7 +5,9 @@ from .redundancy import (
     DEFAULT_THETA_2,
     RedundancyReport,
     RelationOverlap,
+    StreamingPairIndexBuilder,
     analyse_redundancy,
+    analyse_redundancy_from_pair_sets,
     find_duplicate_relations,
     find_reverse_duplicate_relations,
     find_symmetric_relations,
@@ -43,7 +45,9 @@ __all__ = [
     "DEFAULT_THETA_2",
     "RedundancyReport",
     "RelationOverlap",
+    "StreamingPairIndexBuilder",
     "analyse_redundancy",
+    "analyse_redundancy_from_pair_sets",
     "find_duplicate_relations",
     "find_reverse_duplicate_relations",
     "find_symmetric_relations",

@@ -52,21 +52,38 @@ def cartesian_density(triples: TripleSet, relation: int) -> float:
 
 
 def find_cartesian_relations(
-    triples: TripleSet,
+    triples: Optional[TripleSet] = None,
     density_threshold: float = DEFAULT_DENSITY_THRESHOLD,
     min_triples: int = DEFAULT_MIN_TRIPLES,
     min_product_size: int = 4,
     relations: Optional[Sequence[int]] = None,
+    pair_sets: Optional[Dict[int, Set[tuple]]] = None,
 ) -> List[CartesianRelation]:
     """Detect Cartesian product relations in a triple set.
 
     ``min_product_size`` excludes degenerate relations whose subject × object
     product is so small (e.g. 1 × 1) that full coverage is meaningless.
+
+    The detector only ever looks at per-relation (subject, object) pair sets,
+    so instead of a :class:`TripleSet` it also accepts ``pair_sets`` directly —
+    e.g. the index grown incrementally by the streaming ingestion audit
+    (:class:`repro.core.redundancy.StreamingPairIndexBuilder`), giving
+    identical results without a materialized triple container.
     """
-    relations = list(relations) if relations is not None else triples.relations
+    if pair_sets is not None:
+        relations = list(relations) if relations is not None else sorted(pair_sets)
+
+        def pairs_of(relation: int) -> Set[tuple]:
+            return pair_sets.get(relation, set())
+
+    else:
+        if triples is None:
+            raise ValueError("find_cartesian_relations needs triples or pair_sets")
+        relations = list(relations) if relations is not None else triples.relations
+        pairs_of = triples.pairs_of
     found: List[CartesianRelation] = []
     for relation in relations:
-        pairs = triples.pairs_of(relation)
+        pairs = pairs_of(relation)
         if len(pairs) < min_triples:
             continue
         subjects = {h for h, _ in pairs}

@@ -25,9 +25,9 @@ pair — relation pairs with an empty intersection are never materialised.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..kg.triples import TripleSet
+from ..kg.triples import Triple, TripleSet
 
 #: A relation's pair set, keyed by relation id (built once, shared by every detector).
 PairSets = Dict[int, Set[Tuple[int, int]]]
@@ -178,7 +178,7 @@ def overlap_counts(
 
 
 def _find_overlapping_pairs(
-    triples: TripleSet,
+    triples: Optional[TripleSet],
     theta_1: float,
     theta_2: float,
     reversed_b: bool,
@@ -241,7 +241,7 @@ def relation_overlap(
 
 
 def find_duplicate_relations(
-    triples: TripleSet,
+    triples: Optional[TripleSet],
     theta_1: float = DEFAULT_THETA_1,
     theta_2: float = DEFAULT_THETA_2,
     relations: Optional[Sequence[int]] = None,
@@ -256,7 +256,7 @@ def find_duplicate_relations(
 
 
 def find_reverse_duplicate_relations(
-    triples: TripleSet,
+    triples: Optional[TripleSet],
     theta_1: float = DEFAULT_THETA_1,
     theta_2: float = DEFAULT_THETA_2,
     relations: Optional[Sequence[int]] = None,
@@ -271,7 +271,7 @@ def find_reverse_duplicate_relations(
 
 
 def find_symmetric_relations(
-    triples: TripleSet,
+    triples: Optional[TripleSet],
     threshold: float = DEFAULT_THETA_1,
     relations: Optional[Sequence[int]] = None,
     pair_sets: Optional[PairSets] = None,
@@ -292,6 +292,41 @@ def find_symmetric_relations(
     return symmetric
 
 
+def analyse_redundancy_from_pair_sets(
+    pair_sets: PairSets,
+    theta_1: float = DEFAULT_THETA_1,
+    theta_2: float = DEFAULT_THETA_2,
+    pair_index: Optional[PairIndex] = None,
+) -> RedundancyReport:
+    """:func:`analyse_redundancy` on pre-built pair sets (no triple container).
+
+    This is the finalization step of the streaming audit: the ingestion
+    pipeline grows the pair sets and inverted index chunk-by-chunk (see
+    :class:`StreamingPairIndexBuilder`) and this function turns them into the
+    exact report the in-memory path produces.  ``pair_index``, when given,
+    must have been built from exactly ``pair_sets``.
+    """
+    relations = sorted(pair_sets)
+    ordered = {relation: pair_sets[relation] for relation in relations}
+    if pair_index is None:
+        pair_index = build_pair_index(ordered)
+    report = RedundancyReport()
+    report.symmetric_relations = find_symmetric_relations(
+        None, theta_1, relations=relations, pair_sets=ordered
+    )
+    report.duplicate_pairs = find_duplicate_relations(
+        None, theta_1, theta_2, relations=relations, pair_sets=ordered, pair_index=pair_index
+    )
+    for overlap in find_reverse_duplicate_relations(
+        None, theta_1, theta_2, relations=relations, pair_sets=ordered, pair_index=pair_index
+    ):
+        if overlap.share_of_a > 0.95 and overlap.share_of_b > 0.95:
+            report.reverse_pairs.append(overlap)
+        else:
+            report.reverse_duplicate_pairs.append(overlap)
+    return report
+
+
 def analyse_redundancy(
     triples: TripleSet,
     theta_1: float = DEFAULT_THETA_1,
@@ -307,20 +342,49 @@ def analyse_redundancy(
     reverse relations annotated by ``reverse_property`` and the looser reverse
     duplicates found by the overlap test.
     """
-    pair_sets = build_pair_sets(triples)
-    pair_index = build_pair_index(pair_sets)
-    report = RedundancyReport()
-    report.symmetric_relations = find_symmetric_relations(
-        triples, theta_1, pair_sets=pair_sets
-    )
-    report.duplicate_pairs = find_duplicate_relations(
-        triples, theta_1, theta_2, pair_sets=pair_sets, pair_index=pair_index
-    )
-    for overlap in find_reverse_duplicate_relations(
-        triples, theta_1, theta_2, pair_sets=pair_sets, pair_index=pair_index
-    ):
-        if overlap.share_of_a > 0.95 and overlap.share_of_b > 0.95:
-            report.reverse_pairs.append(overlap)
-        else:
-            report.reverse_duplicate_pairs.append(overlap)
-    return report
+    return analyse_redundancy_from_pair_sets(build_pair_sets(triples), theta_1, theta_2)
+
+
+class StreamingPairIndexBuilder:
+    """The §4.2 audit index grown chunk-by-chunk from an ingest stream.
+
+    A :data:`~repro.kg.streaming.ChunkObserver`: hook :meth:`observe` into
+    :func:`repro.kg.streaming.ingest_dataset` and every chunk's newly-added
+    encoded triples extend the per-relation pair sets and the (subject,
+    object) → relations inverted index — the same two structures
+    :func:`analyse_redundancy` builds in one pass over a materialized triple
+    set.  The audit runs on the union of all splits, and the per-relation
+    pair dedupe makes cross-split duplicates harmless, so :meth:`report` is
+    bit-identical to ``analyse_redundancy(dataset.all_triples(), ...)``.
+    """
+
+    def __init__(self) -> None:
+        self._pair_sets: PairSets = {}
+        self._pair_index: PairIndex = {}
+
+    def observe(self, split: str, added_triples: Iterable[Triple]) -> None:
+        """Fold one chunk's newly-added encoded triples into the index."""
+        del split  # the audit pools every split, as dataset.all_triples() does
+        for head, relation, tail in added_triples:
+            pairs = self._pair_sets.setdefault(relation, set())
+            pair = (head, tail)
+            if pair in pairs:
+                continue
+            pairs.add(pair)
+            self._pair_index.setdefault(pair, []).append(relation)
+
+    @property
+    def pair_sets(self) -> PairSets:
+        return self._pair_sets
+
+    @property
+    def pair_index(self) -> PairIndex:
+        return self._pair_index
+
+    def report(
+        self, theta_1: float = DEFAULT_THETA_1, theta_2: float = DEFAULT_THETA_2
+    ) -> RedundancyReport:
+        """Finalize the streamed audit into a :class:`RedundancyReport`."""
+        return analyse_redundancy_from_pair_sets(
+            self._pair_sets, theta_1, theta_2, pair_index=self._pair_index
+        )

@@ -21,6 +21,7 @@ from ..core.leakage import LeakageReport, analyse_leakage
 from ..core.redundancy import RedundancyReport, analyse_redundancy
 from ..eval.ranking import DEFAULT_EVAL_BATCH_SIZE, EvaluationResult, LinkPredictionEvaluator
 from ..kg.dataset import Dataset
+from ..kg.streaming import DEFAULT_CHUNK_SIZE, DEFAULT_MAX_QUEUE_CHUNKS, load_dataset_streaming
 from ..kg.freebase import FreebaseSnapshot, fb15k_like
 from ..kg.wordnet import wn18_like
 from ..kg.yago import yago3_like
@@ -59,6 +60,12 @@ class ExperimentConfig:
     eval_workers: int = 1
     #: Queries per evaluation shard (``None`` = one balanced shard per worker).
     eval_shard_size: Optional[int] = None
+    #: Labelled triples per chunk of the streaming TSV ingestion pipeline
+    #: (:meth:`Workbench.ingest`).
+    ingest_chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Bounded-queue depth (in chunks) of the ingest pipeline; peak
+    #: labelled-triple residency is ``ingest_chunk_size * (ingest_max_queue_chunks + 2)``.
+    ingest_max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
@@ -128,6 +135,41 @@ class Workbench:
 
     def all_datasets(self) -> Dict[str, Dataset]:
         return {name: self.dataset(name) for name in ALL_DATASETS}
+
+    def ingest(self, directory, name: Optional[str] = None) -> Dataset:
+        """Stream-ingest a TSV dataset directory and register it by name.
+
+        The dataset is pulled through the bounded-memory pipeline of
+        :mod:`repro.kg.streaming` under the config's ``ingest_chunk_size`` /
+        ``ingest_max_queue_chunks`` budget and cached like the built-in
+        replicas, so every analysis and evaluation accessor
+        (:meth:`redundancy`, :meth:`leakage`, :meth:`evaluation`, ...) works
+        on it by its name.
+        """
+        dataset = load_dataset_streaming(
+            directory,
+            name=name,
+            chunk_size=self.config.ingest_chunk_size,
+            max_queue_chunks=self.config.ingest_max_queue_chunks,
+        )
+        self._register_dataset(dataset)
+        return dataset
+
+    def _register_dataset(self, dataset: Dataset) -> None:
+        """Install ``dataset`` under its name, dropping stale per-name caches.
+
+        Re-ingesting under an existing name (or shadowing a built-in key) must
+        not serve analyses or evaluations computed for the old data.
+        """
+        name = dataset.name
+        self._datasets[name] = dataset
+        self._redundancy.pop(name, None)
+        self._leakage.pop(name, None)
+        self._categories.pop(name, None)
+        for key in [k for k in self._scorers if k[1] == name]:
+            del self._scorers[key]
+        for key in [k for k in self._evaluations if k[1] == name]:
+            del self._evaluations[key]
 
     # -- analyses -----------------------------------------------------------------
     def redundancy(self, dataset_name: str) -> RedundancyReport:

@@ -12,6 +12,7 @@ from .dataset import (
 from .statistics import (
     DatasetStatistics,
     RelationProfile,
+    StreamingStatisticsBuilder,
     dataset_statistics,
     relation_frequency_share,
     relation_profile,
@@ -19,6 +20,17 @@ from .statistics import (
 )
 from .sampling import BernoulliNegativeSampler, NegativeSampler, UniformNegativeSampler
 from .io import DatasetIOError, load_dataset, read_triples_tsv, save_dataset, write_triples_tsv
+from .streaming import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_QUEUE_CHUNKS,
+    IngestProgress,
+    IngestReport,
+    StreamingDatasetBuilder,
+    ingest_dataset,
+    load_dataset_streaming,
+    residency_bound,
+    stream_triple_chunks,
+)
 from .generators import (
     DEFAULT_SPLIT_FRACTIONS,
     GeneratedKG,
@@ -59,6 +71,16 @@ __all__ = [
     "save_dataset",
     "read_triples_tsv",
     "write_triples_tsv",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MAX_QUEUE_CHUNKS",
+    "IngestProgress",
+    "IngestReport",
+    "StreamingDatasetBuilder",
+    "StreamingStatisticsBuilder",
+    "ingest_dataset",
+    "load_dataset_streaming",
+    "residency_bound",
+    "stream_triple_chunks",
     "DEFAULT_SPLIT_FRACTIONS",
     "GeneratedKG",
     "RelationSpec",

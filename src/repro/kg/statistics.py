@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Set
 
 from .dataset import Dataset
-from .triples import TripleSet
+from .triples import Triple, TripleSet
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,45 @@ def dataset_statistics(dataset: Dataset) -> DatasetStatistics:
         num_valid=len(dataset.valid),
         num_test=len(dataset.test),
     )
+
+
+class StreamingStatisticsBuilder:
+    """Incremental Table-1 row over a stream of newly-added encoded triples.
+
+    The streaming ingestion pipeline feeds it, chunk by chunk, the triples
+    that were *actually inserted* into each split (duplicates already
+    dropped), so the finalized row equals
+    :func:`dataset_statistics` of the crystallized dataset exactly: split
+    sizes are deduplicated sizes, and entities/relations are counted as
+    *present in any split*, never as vocabulary size.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._split_counts: Dict[str, int] = {"train": 0, "valid": 0, "test": 0}
+        self._entities: Set[int] = set()
+        self._relations: Set[int] = set()
+
+    def observe(self, split: str, added_triples: Iterable[Triple]) -> None:
+        """Fold one chunk's newly-added encoded triples into the counters."""
+        count = 0
+        for head, relation, tail in added_triples:
+            self._entities.add(head)
+            self._entities.add(tail)
+            self._relations.add(relation)
+            count += 1
+        self._split_counts[split] += count
+
+    def statistics(self) -> DatasetStatistics:
+        """Finalize the Table-1 row seen so far."""
+        return DatasetStatistics(
+            name=self.name,
+            num_entities=len(self._entities),
+            num_relations=len(self._relations),
+            num_train=self._split_counts["train"],
+            num_valid=self._split_counts["valid"],
+            num_test=self._split_counts["test"],
+        )
 
 
 @dataclass(frozen=True)

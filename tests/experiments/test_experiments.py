@@ -73,6 +73,49 @@ def test_workbench_caches_scorers_and_evaluations(workbench):
     assert workbench.evaluation("TransE", FB15K) is workbench.evaluation("TransE", FB15K)
 
 
+def test_workbench_ingests_streamed_dataset(workbench, tmp_path, toy_dataset):
+    """A stream-ingested directory plugs into the workbench's analysis caches."""
+    from repro.kg import save_dataset
+
+    directory = save_dataset(toy_dataset, tmp_path / "toy")
+    ingest_bench = Workbench(
+        ExperimentConfig(scale="tiny", seed=13, ingest_chunk_size=4, ingest_max_queue_chunks=2)
+    )
+    dataset = ingest_bench.ingest(directory)
+    assert dataset.name == "toy"
+    assert ingest_bench.dataset("toy") is dataset
+    # the streamed dataset matches the source label-wise and feeds the audit accessors
+    streamed_labels = {dataset.vocab.decode_triple(t) for t in dataset.train}
+    source_labels = {toy_dataset.vocab.decode_triple(t) for t in toy_dataset.train}
+    assert streamed_labels == source_labels
+    report = ingest_bench.redundancy("toy")
+    assert report.reverse_pairs  # directed_by / films_directed
+
+
+def test_workbench_reingest_invalidates_analysis_caches(tmp_path, toy_dataset):
+    """Re-ingesting under the same name must not serve the old data's analyses."""
+    from repro.kg import Dataset, TripleSet, Vocabulary, save_dataset
+
+    bench = Workbench(ExperimentConfig(scale="tiny", seed=13))
+    directory = save_dataset(toy_dataset, tmp_path / "v1")
+    bench.ingest(directory, name="mydata")
+    assert bench.redundancy("mydata").reverse_pairs
+
+    # v2: a plain chain with no redundancy at all, exported under the same name
+    vocab = Vocabulary.from_labels([f"e{i}" for i in range(4)], ["r"])
+    plain = Dataset(
+        name="mydata",
+        vocab=vocab,
+        train=TripleSet([(0, 0, 1), (1, 0, 2), (2, 0, 3)]),
+        valid=TripleSet(),
+        test=TripleSet(),
+    )
+    bench.ingest(save_dataset(plain, tmp_path / "v2"), name="mydata")
+    fresh = bench.redundancy("mydata")
+    assert not fresh.reverse_pairs
+    assert not fresh.duplicate_pairs
+
+
 @pytest.mark.multiprocess
 def test_workbench_sharded_evaluation_matches_single_process(workbench, capped_workers):
     """A sharded workbench reports bit-identical metrics for the same scorer."""

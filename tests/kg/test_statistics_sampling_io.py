@@ -121,6 +121,22 @@ def test_read_malformed_line_raises(tmp_path):
         list(read_triples_tsv(path))
 
 
+def test_read_tolerates_crlf_line_endings(tmp_path):
+    """Windows-edited TSVs must not leak a trailing ``\\r`` into the tail label."""
+    path = tmp_path / "crlf.txt"
+    path.write_bytes(b"a\tr\tb\r\nb\tr\tc\r\n\r\nc\tr\td")
+    assert list(read_triples_tsv(path)) == [("a", "r", "b"), ("b", "r", "c"), ("c", "r", "d")]
+
+
+def test_read_gzipped_tsv_auto_detects(tmp_path):
+    import gzip
+
+    path = tmp_path / "triples.txt.gz"
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write("a\tr\tb\nb\tr\tc\n")
+    assert list(read_triples_tsv(path)) == [("a", "r", "b"), ("b", "r", "c")]
+
+
 def test_save_and_load_dataset_roundtrip(tmp_path, toy_dataset):
     directory = save_dataset(toy_dataset, tmp_path / "toy")
     loaded = load_dataset(directory)

@@ -44,6 +44,50 @@ def test_audit_unknown_dataset_name_errors():
     assert "fb15k" in GENERATED_DATASETS
 
 
+def test_ingest_subcommand_streams_audits_and_exports(tmp_path, capsys, toy_dataset):
+    from repro.kg import load_dataset, save_dataset
+
+    directory = save_dataset(toy_dataset, tmp_path / "toy")
+    output = tmp_path / "out"
+    exit_code = main(
+        [
+            "ingest",
+            "--input", str(directory),
+            "--chunk-size", "4",
+            "--max-queue-chunks", "2",
+            "--deredundify",
+            "--output", str(output),
+            "--progress", "--progress-every", "1",
+        ]
+    )
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "Ingested toy" in captured.out
+    assert "Redundancy summary" in captured.out
+    assert "peak resident labelled triples" in captured.out
+    assert "De-redundified" in captured.out
+    assert "[ingest]" in captured.err
+    # the exported de-redundant dataset reloads cleanly
+    exported = load_dataset(output)
+    assert exported.name == "toy-deredundant"
+    assert len(exported.train) <= len(toy_dataset.train)
+
+
+def test_ingest_missing_directory_errors(tmp_path):
+    with pytest.raises(SystemExit, match="ingest failed"):
+        main(["ingest", "--input", str(tmp_path / "nope")])
+
+
+def test_ingest_flags_are_parsed():
+    args = build_parser().parse_args(
+        ["ingest", "--input", "somewhere", "--chunk-size", "128", "--max-queue-chunks", "3", "--gzip"]
+    )
+    assert args.chunk_size == 128
+    assert args.max_queue_chunks == 3
+    assert args.gzip is True
+    assert args.deredundify is False
+
+
 def test_train_subcommand_runs_and_reports_metrics(capsys):
     exit_code = main(
         [
