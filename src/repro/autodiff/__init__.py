@@ -1,6 +1,6 @@
 """Reverse-mode autodiff on numpy arrays (the training substrate)."""
 
-from .tensor import Parameter, Tensor
+from .tensor import Parameter, SparseGrad, Tensor
 from .functional import (
     binary_cross_entropy_with_logits,
     conv2d,
@@ -14,6 +14,7 @@ from .functional import (
 __all__ = [
     "Tensor",
     "Parameter",
+    "SparseGrad",
     "binary_cross_entropy_with_logits",
     "conv2d",
     "linear",

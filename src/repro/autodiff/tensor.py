@@ -14,7 +14,16 @@ Design notes
 * Broadcasting is supported; ``_unbroadcast`` sums gradients back to the
   original shape.
 * ``Tensor.gather`` is the embedding lookup: its backward pass uses
-  ``np.add.at`` so repeated indices accumulate correctly.
+  ``np.add.at`` so repeated indices accumulate correctly.  When the gathered
+  tensor is a :class:`Parameter` with ``sparse_updates`` enabled, the backward
+  pass skips the dense scatter entirely and appends the ``(indices, rows)``
+  pair to the parameter's :class:`SparseGrad` instead — a training batch then
+  costs O(batch × dim) rather than O(num_rows × dim) per embedding table.
+* ``Parameter.grad`` stays the compatibility surface: reading it folds any
+  pending sparse segments into the dense gradient (reproducing the dense
+  scatter bit-for-bit), so gradcheck and third-party consumers keep working.
+  Sparse-aware optimizers read ``Parameter.sparse_grad`` directly and never
+  pay the densification.
 * The graph is built eagerly per batch and freed after ``backward``; there is
   no tape reuse, which keeps the implementation small and predictable.
 """
@@ -40,6 +49,94 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
         if size == 1 and grad.shape[axis] != 1:
             grad = grad.sum(axis=axis, keepdims=True)
     return grad.reshape(shape)
+
+
+class SparseGrad:
+    """Row-indexed gradient of an axis-0 gather on a 2-D (or 1-D) table.
+
+    Each backward pass of :meth:`Tensor.gather` appends one *segment* — the
+    raw ``(indices, rows)`` pair, duplicates and all — in accumulation order.
+    Duplicate indices are only summed when the gradient is consumed:
+
+    * :meth:`coalesce` returns ``(unique_indices, summed_rows)`` restricted to
+      the touched rows (what the lazy optimizers consume);
+    * :meth:`to_dense` materializes the full dense gradient.
+
+    Both reductions replay the segments in accumulation order, each segment
+    scattered with ``np.add.at`` before being added to the running total, so
+    the result is bit-identical to the dense backward path (which scatters
+    each gather into a full zero table and sums the tables the same way).
+    """
+
+    __slots__ = ("shape", "_segments")
+
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        if not shape:
+            raise ValueError("SparseGrad needs at least one (row) dimension")
+        self.shape = tuple(shape)
+        self._segments: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    def add(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Append one gather's ``(indices, rows)`` contribution."""
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        rows = np.asarray(rows, dtype=np.float64).reshape(indices.size, *self.shape[1:])
+        self._segments.append((indices, rows))
+
+    def is_empty(self) -> bool:
+        return not self._segments
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def entry_count(self) -> int:
+        """Total gathered rows across segments (before coalescing)."""
+        return sum(len(indices) for indices, _ in self._segments)
+
+    def touched_indices(self) -> np.ndarray:
+        """Sorted unique row indices with a pending contribution."""
+        if not self._segments:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([indices for indices, _ in self._segments]))
+
+    def coalesce(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(unique_indices, rows)`` with duplicate contributions summed.
+
+        ``rows[i]`` equals the dense gradient's row ``unique_indices[i]``
+        bit-for-bit (see the class docstring for why the segment replay
+        preserves the floating-point summation order).
+        """
+        if not self._segments:
+            return np.empty(0, dtype=np.int64), np.empty((0, *self.shape[1:]))
+        all_indices = np.concatenate([indices for indices, _ in self._segments])
+        unique, inverse = np.unique(all_indices, return_inverse=True)
+        total: Optional[np.ndarray] = None
+        offset = 0
+        for indices, rows in self._segments:
+            segment = np.zeros((len(unique), *self.shape[1:]))
+            np.add.at(segment, inverse[offset:offset + len(indices)], rows)
+            total = segment if total is None else total + segment
+            offset += len(indices)
+        assert total is not None
+        return unique, total
+
+    def to_dense(self) -> np.ndarray:
+        """The full dense gradient (bitwise equal to the dense backward path)."""
+        total: Optional[np.ndarray] = None
+        for indices, rows in self._segments:
+            full = np.zeros(self.shape)
+            np.add.at(full, indices, rows)
+            total = full if total is None else total + full
+        return total if total is not None else np.zeros(self.shape)
+
+    def clear(self) -> None:
+        self._segments = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseGrad(shape={self.shape}, segments={self.num_segments}, "
+            f"entries={self.entry_count()})"
+        )
 
 
 class Tensor:
@@ -403,20 +500,32 @@ class Tensor:
 
         return self._make(data, (self,), backward)
 
+    def _sparse_sink(self) -> Optional[SparseGrad]:
+        """Where gather should route a row-indexed gradient (None = dense)."""
+        return None
+
     def gather(self, indices: np.ndarray) -> "Tensor":
         """Row lookup (embedding gather) along axis 0.
 
         Repeated indices are handled correctly in the backward pass via
-        ``np.add.at``.
+        ``np.add.at``.  For a :class:`Parameter` with ``sparse_updates``
+        enabled the backward pass appends the raw ``(indices, rows)`` pair to
+        the parameter's :class:`SparseGrad` instead of materializing a dense
+        scatter, keeping the step cost proportional to the batch.
         """
         indices = np.asarray(indices, dtype=np.int64)
         data = self.data[indices]
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, indices, grad)
-                self._accumulate(full)
+            if not self.requires_grad:
+                return
+            sink = self._sparse_sink()
+            if sink is not None:
+                sink.add(indices, grad)
+                return
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, grad)
+            self._accumulate(full)
 
         return self._make(data, (self,), backward)
 
@@ -450,7 +559,75 @@ class Tensor:
 
 
 class Parameter(Tensor):
-    """A trainable tensor (always requires grad)."""
+    """A trainable tensor (always requires grad).
 
-    def __init__(self, data: ArrayLike, name: Optional[str] = None) -> None:
+    With ``sparse_updates`` enabled (off by default), :meth:`Tensor.gather`
+    backward passes accumulate into :attr:`sparse_grad` as row-indexed
+    ``(indices, rows)`` segments instead of dense scatters.  Reading
+    :attr:`grad` folds any pending sparse segments into the dense gradient on
+    demand — bit-identical to what the dense backward would have produced —
+    so gradient checks and any code written against the dense contract keep
+    working unmodified.  Sparse-aware optimizers consume :attr:`sparse_grad`
+    directly and never trigger the fold.
+    """
+
+    __slots__ = ("sparse_grad", "sparse_updates")
+
+    #: The inherited slot descriptor for the dense gradient storage; the
+    #: ``grad`` property below shadows the slot name on this subclass.
+    _dense_grad_slot = Tensor.grad
+
+    def __init__(
+        self, data: ArrayLike, name: Optional[str] = None, sparse_updates: bool = False
+    ) -> None:
         super().__init__(data, requires_grad=True, name=name)
+        self.sparse_grad: Optional[SparseGrad] = None
+        self.sparse_updates = bool(sparse_updates)
+
+    # -- gradient surfaces ----------------------------------------------------
+    @property
+    def dense_grad(self) -> Optional[np.ndarray]:
+        """The dense gradient storage only (no sparse folding)."""
+        return Parameter._dense_grad_slot.__get__(self)
+
+    @dense_grad.setter
+    def dense_grad(self, value: Optional[np.ndarray]) -> None:
+        Parameter._dense_grad_slot.__set__(self, value)
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        """Dense gradient, folding pending sparse segments in on first read."""
+        dense = self.dense_grad
+        if self.sparse_grad is not None and not self.sparse_grad.is_empty():
+            fold = self.sparse_grad.to_dense()
+            dense = fold if dense is None else dense + fold
+            self.dense_grad = dense
+            self.sparse_grad = None
+        return dense
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        self.dense_grad = value
+
+    def _sparse_sink(self) -> Optional[SparseGrad]:
+        if not self.sparse_updates:
+            return None
+        if self.sparse_grad is None:
+            self.sparse_grad = SparseGrad(self.data.shape)
+        return self.sparse_grad
+
+    def zero_grad(self) -> None:
+        self.dense_grad = None
+        self.sparse_grad = None
+
+    # -- pickling -------------------------------------------------------------
+    # Pending gradients (dense and sparse) are per-batch state; like the
+    # autodiff graph they are dropped so shipped parameters stay lean.
+    def __getstate__(self):
+        return (self.data, None, self.requires_grad, self.name, self.sparse_updates)
+
+    def __setstate__(self, state) -> None:
+        *base, sparse_updates = state
+        self.sparse_grad = None
+        self.sparse_updates = bool(sparse_updates)
+        super().__setstate__(tuple(base))

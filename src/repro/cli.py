@@ -13,8 +13,10 @@ Five subcommands cover the workflows a downstream user needs:
     de-redundification, optional re-export — without ever materializing a
     full split as labelled Python objects.
 ``repro-kgc train``
-    Train one embedding model on one dataset and report raw + filtered
-    link-prediction metrics.
+    Train one embedding model on one dataset — sparse row-gradient engine,
+    periodic validation with early stopping, checkpoint save/resume — and
+    report raw + filtered link-prediction metrics.  Progress goes through
+    the ``logging`` module (``--verbose`` / ``--quiet`` select the level).
 ``repro-kgc experiment``
     Regenerate one of the paper's tables or figures by its key (see
     ``repro.experiments.EXPERIMENT_INDEX``), or ``all`` of them.
@@ -27,6 +29,7 @@ what the test-suite uses.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -60,7 +63,13 @@ from .kg import (
     wn18_like,
     yago3_like,
 )
-from .models import ALL_EMBEDDING_MODELS, ModelConfig, TrainingConfig, make_model, train_model
+from .models import (
+    ALL_EMBEDDING_MODELS,
+    ModelConfig,
+    TrainingConfig,
+    TrainingRun,
+    make_model,
+)
 
 #: Names accepted by ``--dataset`` when not pointing at a directory.
 GENERATED_DATASETS = (
@@ -235,8 +244,16 @@ def command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Map the CLI verbosity flags onto the ``repro`` logger level."""
+    level = logging.WARNING if quiet else (logging.DEBUG if verbose else logging.INFO)
+    logging.basicConfig(level=level, format="%(message)s")
+    logging.getLogger("repro").setLevel(level)
+
+
 def command_train(args: argparse.Namespace) -> int:
     """Train one model on one dataset and print its evaluation row."""
+    _configure_logging(args.verbose, args.quiet)
     dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
     extra = {"embedding_height": 4} if args.model == "ConvE" else {}
     model = make_model(
@@ -245,20 +262,42 @@ def command_train(args: argparse.Namespace) -> int:
         dataset.num_relations,
         ModelConfig(dim=args.dim, seed=args.seed, extra=extra),
     )
-    result = train_model(
+    run = TrainingRun(
         model,
         dataset,
         TrainingConfig(
             epochs=args.epochs,
             batch_size=args.batch_size,
             learning_rate=args.learning_rate,
+            optimizer=args.optimizer,
             num_negatives=args.negatives,
             seed=args.seed,
             verbose=not args.quiet,
+            sparse_updates=not args.dense_updates,
+            row_budget=args.row_budget,
+            validate_every=args.validate_every,
+            patience=args.patience,
+            validation_batch_size=args.eval_batch_size,
+            validation_workers=args.eval_workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         ),
     )
-    print(f"trained {result.model_name} on {result.dataset_name}: "
-          f"{result.epochs_run} epochs, final loss {result.final_loss:.4f}, {result.seconds:.1f}s")
+    if args.resume:
+        run.restore(args.resume)
+    result = run.train()
+    summary = (
+        f"trained {result.model_name} on {result.dataset_name}: "
+        f"{result.epochs_run} epochs, final loss {result.final_loss:.4f}, {result.seconds:.1f}s"
+    )
+    if result.validation_mrrs:
+        summary += (
+            f", best validation MRR {result.best_validation_mrr:.4f} "
+            f"at epoch {result.best_epoch}"
+        )
+    if result.stopped_early:
+        summary += " (stopped early)"
+    print(summary)
     evaluation = evaluate_model(
         model,
         dataset,
@@ -287,6 +326,9 @@ def command_experiment(args: argparse.Namespace) -> int:
         eval_batch_size=args.eval_batch_size,
         eval_workers=args.eval_workers,
         eval_shard_size=args.eval_shard_size,
+        sparse_updates=not args.dense_updates,
+        validate_every=args.validate_every,
+        patience=args.patience,
     )
     workbench = Workbench(config)
     for key in keys:
@@ -389,9 +431,52 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=40)
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--learning-rate", type=float, default=0.05)
+    train.add_argument("--optimizer", default="adam", choices=("sgd", "adagrad", "adam"))
     train.add_argument("--negatives", type=int, default=4)
+    train.add_argument(
+        "--dense-updates",
+        action="store_true",
+        help="use the dense reference training path instead of sparse row gradients",
+    )
+    train.add_argument(
+        "--row-budget",
+        type=int,
+        default=None,
+        help="max coalesced rows per sparse optimizer update before densifying the step",
+    )
+    train.add_argument(
+        "--validate-every",
+        type=int,
+        default=0,
+        help="epochs between validation-MRR passes (0 = no validation)",
+    )
+    train.add_argument(
+        "--patience",
+        type=int,
+        default=0,
+        help="validation checks without a new best MRR before early stopping (0 = off)",
+    )
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for periodic training checkpoints",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="epochs between checkpoints (0 disables periodic saves)",
+    )
+    train.add_argument(
+        "--resume",
+        default=None,
+        help="checkpoint .npz to restore before training (same model/dataset/config)",
+    )
     add_eval_options(train)
-    train.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
+    train.add_argument("--quiet", action="store_true", help="only warnings and errors")
+    train.add_argument(
+        "--verbose", action="store_true", help="per-epoch debug logging (overrides the default INFO level)"
+    )
     train.set_defaults(handler=command_train)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
@@ -399,6 +484,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help=f"experiment key ({', '.join(EXPERIMENT_INDEX)}) or 'all'")
     experiment.add_argument("--dim", type=int, default=16)
     experiment.add_argument("--epochs", type=int, default=25)
+    experiment.add_argument(
+        "--dense-updates",
+        action="store_true",
+        help="train with the dense reference path instead of sparse row gradients",
+    )
+    experiment.add_argument(
+        "--validate-every", type=int, default=0,
+        help="epochs between validation passes while training each model (0 = off)",
+    )
+    experiment.add_argument(
+        "--patience", type=int, default=0,
+        help="validation checks without improvement before early stopping (0 = off)",
+    )
     add_eval_options(experiment)
     experiment.set_defaults(handler=command_experiment)
 

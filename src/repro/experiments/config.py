@@ -11,6 +11,7 @@ benchmark session trains each (model, dataset) pair exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..core.baselines import SimpleRuleModel
@@ -66,6 +67,20 @@ class ExperimentConfig:
     #: Bounded-queue depth (in chunks) of the ingest pipeline; peak
     #: labelled-triple residency is ``ingest_chunk_size * (ingest_max_queue_chunks + 2)``.
     ingest_max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
+    #: Row-indexed sparse gradients + lazy per-row optimizer updates
+    #: (``False`` = the dense reference training path).
+    sparse_updates: bool = True
+    #: Max coalesced rows per sparse optimizer update before the step is
+    #: densified (``None`` = never).
+    row_budget: Optional[int] = None
+    #: Epochs between validation-MRR passes during training (0 = off).
+    validate_every: int = 0
+    #: Validation checks without a new best MRR before early stopping (0 = off).
+    patience: int = 0
+    #: Directory for periodic training checkpoints (None = off).
+    checkpoint_dir: Optional[str] = None
+    #: Epochs between checkpoints (0 disables periodic saves).
+    checkpoint_every: int = 0
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
@@ -85,6 +100,14 @@ class ExperimentConfig:
             learning_rate=self.learning_rate,
             num_negatives=self.num_negatives,
             seed=self.seed,
+            sparse_updates=self.sparse_updates,
+            row_budget=self.row_budget,
+            validate_every=self.validate_every,
+            patience=self.patience,
+            validation_batch_size=self.eval_batch_size,
+            validation_workers=self.eval_workers,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
         )
 
 
@@ -219,7 +242,14 @@ class Workbench:
                 dataset.num_relations,
                 self.config.model_config(model_name),
             )
-            train_model(model, dataset, self.config.training_config())
+            training = self.config.training_config()
+            if training.checkpoint_dir:
+                # One subdirectory per (model, dataset) pair so a whole
+                # benchmark session's checkpoints never collide.
+                training.checkpoint_dir = str(
+                    Path(training.checkpoint_dir) / f"{model_name}--{dataset_name}"
+                )
+            train_model(model, dataset, training)
             scorer = model
         self._scorers[key] = scorer
         return scorer

@@ -12,7 +12,15 @@ from .losses import (
     make_loss,
 )
 from .optim import Adagrad, Adam, Optimizer, SGD, make_optimizer
-from .trainer import Trainer, TrainingConfig, TrainingResult, train_model
+from .trainer import (
+    NaNLossError,
+    Trainer,
+    TrainingCallback,
+    TrainingConfig,
+    TrainingResult,
+    TrainingRun,
+    train_model,
+)
 from .registry import (
     ALL_EMBEDDING_MODELS,
     CORE_MODELS,
@@ -47,8 +55,11 @@ __all__ = [
     "Adam",
     "make_optimizer",
     "Trainer",
+    "TrainingRun",
+    "TrainingCallback",
     "TrainingConfig",
     "TrainingResult",
+    "NaNLossError",
     "train_model",
     "MODEL_REGISTRY",
     "CORE_MODELS",

@@ -100,6 +100,15 @@ class KGEModel(ABC):
         return dict(self._parameters)
 
     def zero_grad(self) -> None:
+        """Clear every parameter's pending gradients (dense **and** sparse).
+
+        This is the authoritative zero-grad of a training step: the trainer
+        calls it (and only it) before each backward pass, and model
+        subclasses hook it to invalidate caches derived from parameter
+        values (e.g. ConvE's all-entity hidden matrix).
+        ``Optimizer.zero_grad`` delegates to the same per-parameter method
+        for optimizer-only usage over bare parameter dictionaries.
+        """
         for parameter in self._parameters.values():
             parameter.zero_grad()
 
@@ -194,12 +203,29 @@ class KGEModel(ABC):
         return self.score_triples_np(candidates, relations, tails)
 
     # -- constraints ------------------------------------------------------------------
-    def apply_constraints(self) -> None:
-        """Hook applied after every optimizer step (e.g. entity normalization)."""
+    def apply_constraints(
+        self,
+        touched_entities: Optional[np.ndarray] = None,
+        touched_relations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Hook applied after every optimizer step (e.g. entity normalization).
+
+        ``touched_entities`` / ``touched_relations`` restrict the constraint
+        to the given rows — the trainer passes the unique entity/relation ids
+        of the current batch (positives and negatives), so the per-step cost
+        is O(batch) instead of O(num_entities).  ``None`` keeps the original
+        all-rows behaviour for direct callers.
+        """
         if self.normalize_entities and "entity" in self._parameters:
             embeddings = self._parameters["entity"].data
-            norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
-            np.divide(embeddings, np.maximum(norms, 1.0), out=embeddings)
+            if touched_entities is None:
+                norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+                np.divide(embeddings, np.maximum(norms, 1.0), out=embeddings)
+            else:
+                rows = np.asarray(touched_entities, dtype=np.int64)
+                block = embeddings[rows]
+                norms = np.linalg.norm(block, axis=1, keepdims=True)
+                embeddings[rows] = block / np.maximum(norms, 1.0)
 
     # -- presentation --------------------------------------------------------------------
     @property

@@ -1,14 +1,38 @@
-"""Optimizers for the embedding models (SGD, Adagrad, Adam).
+"""Optimizers for the embedding models (SGD, Adagrad, Adam), sparse-aware.
 
 The original codebases the paper benchmarks (OpenKE, ConvE, RotatE, TuckER)
 use SGD, Adagrad or Adam depending on the model; the same three are provided
 here, operating on the :class:`~repro.autodiff.tensor.Parameter` dictionaries
 exposed by :class:`~repro.models.base.KGEModel`.
+
+Every optimizer consumes gradients through two paths:
+
+* **dense** — the reference path: ``parameter.grad`` holds a full array and
+  the update touches every row (the seed behaviour, kept verbatim);
+* **sparse** — when a parameter carries a pending
+  :class:`~repro.autodiff.tensor.SparseGrad` (embedding tables gathered with
+  ``sparse_updates`` enabled), only the coalesced touched rows are updated.
+  For SGD and Adagrad the sparse update is bit-identical to the dense one
+  (untouched rows receive an exact zero update in the dense path); Adam uses
+  *lazy* per-row state — each row keeps its own step count for bias
+  correction, so a touched row sees exactly the update a dense Adam would
+  apply to a parameter that had only ever been stepped when that row was
+  touched.  Momentum of untouched rows does **not** decay, which is the
+  standard sparse/LazyAdam trade-off of large-scale embedding systems.
+
+``row_budget`` caps the sparse bookkeeping: when one step coalesces more
+rows than the budget, the gradient is densified and applied as an all-rows
+sparse update (for Adam this advances every row's lazy step count, which is
+exactly the dense schedule).
+
+``state_dict()`` / ``load_state_dict()`` expose the optimizer state as flat
+numpy arrays so the trainer can checkpoint and resume bit-identically —
+including Adam's global ``_step_count`` and per-row lazy step counts.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -18,24 +42,98 @@ from ..autodiff import Parameter
 class Optimizer:
     """Base optimizer over a named parameter dictionary."""
 
-    def __init__(self, parameters: Dict[str, Parameter], learning_rate: float = 0.01) -> None:
+    #: Whether a *dense* update can only move rows with a nonzero gradient.
+    #: True for SGD/Adagrad (zero-grad rows receive an exactly-zero update);
+    #: False for Adam, whose momentum moves every row once it is nonzero.
+    dense_update_is_row_bounded = True
+
+    def __init__(
+        self,
+        parameters: Dict[str, Parameter],
+        learning_rate: float = 0.01,
+        row_budget: Optional[int] = None,
+    ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning rate must be positive")
         self.parameters = dict(parameters)
         self.learning_rate = float(learning_rate)
+        self.row_budget = None if row_budget is None else max(1, int(row_budget))
+        self._row_bounded_step = True
 
     def zero_grad(self) -> None:
+        """Clear dense and sparse gradients of every managed parameter.
+
+        This delegates to the same per-parameter ``zero_grad`` that
+        :meth:`repro.models.base.KGEModel.zero_grad` uses; the trainer calls
+        the **model's** method (the authoritative path, which also drops
+        model-level caches such as ConvE's hidden-matrix cache) — this one
+        exists for optimizer-only usage over bare parameter dictionaries.
+        """
         for parameter in self.parameters.values():
             parameter.zero_grad()
 
-    def step(self) -> None:
+    def step(self) -> bool:
+        """Apply all pending updates.
+
+        Returns True when every update this step was **row-bounded** — it can
+        only have moved rows inside the gradient's support (sparse updates
+        within the row budget, and dense SGD/Adagrad updates).  Dense Adam
+        updates and budget-densified steps move rows outside the batch, so
+        they return False; the trainer uses the flag to decide whether
+        touched-rows constraints suffice or every row must be re-constrained.
+        """
+        self._row_bounded_step = True
         for name, parameter in self.parameters.items():
-            if parameter.grad is None:
-                continue
-            self._update(name, parameter)
+            pending = self._pending_sparse(parameter)
+            if pending is not None:
+                self._update_sparse(name, parameter, *pending)
+            elif parameter.grad is not None:
+                self._update(name, parameter)
+                self._row_bounded_step &= self.dense_update_is_row_bounded
+        return self._row_bounded_step
+
+    def _pending_sparse(
+        self, parameter: Parameter
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Coalesced ``(indices, rows)`` if the parameter's gradient is purely sparse.
+
+        Mixed contributions (a parameter that received both gather and dense
+        gradients in one graph) fall back to the dense path: returning
+        ``None`` makes ``step`` read ``parameter.grad``, which folds the
+        sparse segments in.  A coalesced row count above ``row_budget``
+        densifies into an all-rows sparse update.
+        """
+        sparse = getattr(parameter, "sparse_grad", None)
+        if sparse is None or sparse.is_empty():
+            return None
+        if getattr(parameter, "dense_grad", None) is not None:
+            return None
+        if self.row_budget is not None:
+            # The budget decision only needs the index count — don't pay for
+            # a row coalesce that would be thrown away on fallback.
+            if len(sparse.touched_indices()) > self.row_budget:
+                self._row_bounded_step = False
+                return np.arange(parameter.data.shape[0]), sparse.to_dense()
+        return sparse.coalesce()
 
     def _update(self, name: str, parameter: Parameter) -> None:
         raise NotImplementedError
+
+    def _update_sparse(
+        self, name: str, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Optimizer state as flat numpy arrays (stable keys, npz-friendly)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state but got keys {sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -44,14 +142,29 @@ class SGD(Optimizer):
     def _update(self, name: str, parameter: Parameter) -> None:
         parameter.data -= self.learning_rate * parameter.grad
 
+    def _update_sparse(
+        self, name: str, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        parameter.data[indices] -= self.learning_rate * rows
+
 
 class Adagrad(Optimizer):
-    """Adagrad with per-parameter accumulated squared gradients."""
+    """Adagrad with per-parameter accumulated squared gradients.
+
+    The sparse update reads and writes only the touched rows of the
+    accumulator, so the step cost is O(touched × dim); the accumulator array
+    itself is allocated densely once (it is optimizer *state*, not a
+    per-step temporary).
+    """
 
     def __init__(
-        self, parameters: Dict[str, Parameter], learning_rate: float = 0.1, epsilon: float = 1e-10
+        self,
+        parameters: Dict[str, Parameter],
+        learning_rate: float = 0.1,
+        epsilon: float = 1e-10,
+        row_budget: Optional[int] = None,
     ) -> None:
-        super().__init__(parameters, learning_rate)
+        super().__init__(parameters, learning_rate, row_budget=row_budget)
         self.epsilon = epsilon
         self._accumulators = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
 
@@ -60,9 +173,44 @@ class Adagrad(Optimizer):
         accumulator += parameter.grad ** 2
         parameter.data -= self.learning_rate * parameter.grad / (np.sqrt(accumulator) + self.epsilon)
 
+    def _update_sparse(
+        self, name: str, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        accumulator = self._accumulators[name]
+        accumulator[indices] += rows ** 2
+        parameter.data[indices] -= (
+            self.learning_rate * rows / (np.sqrt(accumulator[indices]) + self.epsilon)
+        )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {f"acc__{name}": value for name, value in self._accumulators.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, accumulator in self._accumulators.items():
+            stored = np.asarray(state[f"acc__{name}"])
+            if stored.shape != accumulator.shape:
+                raise ValueError(
+                    f"accumulator shape mismatch for {name!r}: "
+                    f"{stored.shape} != {accumulator.shape}"
+                )
+            accumulator[...] = stored
+
 
 class Adam(Optimizer):
-    """Adam with bias correction (Kingma & Ba, 2015)."""
+    """Adam with bias correction (Kingma & Ba, 2015), lazy on sparse rows.
+
+    The dense path is the textbook update with the global step count
+    ``_step_count``.  The sparse path keeps one step count **per row**
+    (allocated on first sparse touch): a touched row advances its own count,
+    decays its own moments, and is bias-corrected with its own count — so the
+    row sees exactly the dense update of a parameter stepped only when the
+    row was touched.  Rows never touched keep their moments unchanged (no
+    decay), which is where lazy Adam deliberately departs from dense Adam.
+    """
+
+    #: A dense Adam update moves every row with nonzero momentum regardless
+    #: of the current gradient, so it is never row-bounded.
+    dense_update_is_row_bounded = False
 
     def __init__(
         self,
@@ -71,18 +219,20 @@ class Adam(Optimizer):
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
+        row_budget: Optional[int] = None,
     ) -> None:
-        super().__init__(parameters, learning_rate)
+        super().__init__(parameters, learning_rate, row_budget=row_budget)
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
         self._first_moment = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
         self._second_moment = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
         self._step_count = 0
+        self._row_steps: Dict[str, np.ndarray] = {}
 
-    def step(self) -> None:
+    def step(self) -> bool:
         self._step_count += 1
-        super().step()
+        return super().step()
 
     def _update(self, name: str, parameter: Parameter) -> None:
         gradient = parameter.grad
@@ -96,16 +246,72 @@ class Adam(Optimizer):
         v_hat = v / (1.0 - self.beta2 ** self._step_count)
         parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
+    def _update_sparse(
+        self, name: str, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        m = self._first_moment[name]
+        v = self._second_moment[name]
+        steps = self._row_steps.get(name)
+        if steps is None:
+            steps = self._row_steps[name] = np.zeros(parameter.data.shape[0], dtype=np.int64)
+        steps[indices] += 1
+        t = steps[indices]
+        # Bias corrections via the same *scalar* ``beta ** int`` the dense
+        # path computes (numpy's vectorized pow differs from Python's by an
+        # ulp at some exponents, which would break the per-row equivalence).
+        trailing = [1] * (rows.ndim - 1)
+        bias1 = np.empty(len(t)).reshape(-1, *trailing)
+        bias2 = np.empty(len(t)).reshape(-1, *trailing)
+        flat1, flat2 = bias1.reshape(-1), bias2.reshape(-1)
+        for value in np.unique(t):
+            mask = t == value
+            flat1[mask] = 1.0 - self.beta1 ** int(value)
+            flat2[mask] = 1.0 - self.beta2 ** int(value)
+        m[indices] = self.beta1 * m[indices] + (1.0 - self.beta1) * rows
+        v[indices] = self.beta2 * v[indices] + (1.0 - self.beta2) * rows ** 2
+        m_hat = m[indices] / bias1
+        v_hat = v[indices] / bias2
+        parameter.data[indices] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {"step_count": np.asarray(self._step_count)}
+        for name in self.parameters:
+            state[f"m__{name}"] = self._first_moment[name]
+            state[f"v__{name}"] = self._second_moment[name]
+        for name, steps in self._row_steps.items():
+            state[f"rowsteps__{name}"] = steps
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._step_count = int(state["step_count"])
+        for name in self.parameters:
+            for moments, key in ((self._first_moment, f"m__{name}"), (self._second_moment, f"v__{name}")):
+                stored = np.asarray(state[key])
+                if stored.shape != moments[name].shape:
+                    raise ValueError(
+                        f"moment shape mismatch for {name!r}: "
+                        f"{stored.shape} != {moments[name].shape}"
+                    )
+                moments[name][...] = stored
+        self._row_steps = {}
+        prefix = "rowsteps__"
+        for key, value in state.items():
+            if key.startswith(prefix):
+                self._row_steps[key[len(prefix):]] = np.asarray(value, dtype=np.int64).copy()
+
 
 def make_optimizer(
-    name: str, parameters: Dict[str, Parameter], learning_rate: float
+    name: str,
+    parameters: Dict[str, Parameter],
+    learning_rate: float,
+    row_budget: Optional[int] = None,
 ) -> Optimizer:
     """Factory resolving an optimizer name used in trainer configs."""
     lowered = name.lower()
     if lowered == "sgd":
-        return SGD(parameters, learning_rate)
+        return SGD(parameters, learning_rate, row_budget=row_budget)
     if lowered == "adagrad":
-        return Adagrad(parameters, learning_rate)
+        return Adagrad(parameters, learning_rate, row_budget=row_budget)
     if lowered == "adam":
-        return Adam(parameters, learning_rate)
+        return Adam(parameters, learning_rate, row_budget=row_budget)
     raise ValueError(f"unknown optimizer: {name!r}")

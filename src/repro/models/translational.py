@@ -360,8 +360,18 @@ class RotatE(KGEModel):
             scores[rows] = -np.sqrt(delta_sq.sum(axis=-1) + 1e-12)
         return scores
 
-    def apply_constraints(self) -> None:
+    def apply_constraints(
+        self,
+        touched_entities: Optional[np.ndarray] = None,
+        touched_relations: Optional[np.ndarray] = None,
+    ) -> None:
         # Keep phases within (-π, π] for interpretability; entity embeddings
-        # are unconstrained as in the original model.
-        np.mod(self.phase.data + np.pi, 2 * np.pi, out=self.phase.data)
-        self.phase.data -= np.pi
+        # are unconstrained as in the original model.  Phases are a relation
+        # table, so only the touched relation rows need re-wrapping.
+        phase = self.phase.data
+        if touched_relations is None:
+            np.mod(phase + np.pi, 2 * np.pi, out=phase)
+            phase -= np.pi
+        else:
+            rows = np.asarray(touched_relations, dtype=np.int64)
+            phase[rows] = np.mod(phase[rows] + np.pi, 2 * np.pi) - np.pi

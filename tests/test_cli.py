@@ -127,6 +127,78 @@ def test_train_subcommand_with_sharded_evaluation(capsys, capped_workers):
     assert "FMRR" in output
 
 
+def test_train_lifecycle_flags_are_parsed():
+    args = build_parser().parse_args(
+        [
+            "train",
+            "--optimizer", "sgd",
+            "--dense-updates",
+            "--row-budget", "64",
+            "--validate-every", "2",
+            "--patience", "3",
+            "--checkpoint-dir", "ckpts",
+            "--checkpoint-every", "5",
+            "--resume", "ckpts/checkpoint-epoch-0005.npz",
+            "--verbose",
+        ]
+    )
+    assert args.optimizer == "sgd"
+    assert args.dense_updates is True
+    assert args.row_budget == 64
+    assert args.validate_every == 2 and args.patience == 3
+    assert args.checkpoint_dir == "ckpts" and args.checkpoint_every == 5
+    assert args.resume == "ckpts/checkpoint-epoch-0005.npz"
+    assert args.verbose is True
+    defaults = build_parser().parse_args(["train"])
+    assert defaults.dense_updates is False and defaults.row_budget is None
+    assert defaults.validate_every == 0 and defaults.patience == 0
+    assert defaults.checkpoint_dir is None and defaults.resume is None
+
+
+def test_train_subcommand_with_validation_early_stopping_and_checkpoints(tmp_path, capsys):
+    checkpoint_dir = tmp_path / "ckpts"
+    exit_code = main(
+        [
+            "train",
+            "--dataset", "wn18rr",
+            "--model", "DistMult",
+            "--scale", "tiny",
+            "--dim", "8",
+            "--epochs", "4",
+            "--learning-rate", "1e-12",
+            "--validate-every", "1",
+            "--patience", "2",
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--checkpoint-every", "1",
+            "--quiet",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "best validation MRR" in output
+    assert "(stopped early)" in output
+    assert any(p.suffix == ".npz" for p in checkpoint_dir.iterdir())
+
+
+def test_train_subcommand_resumes_from_checkpoint(tmp_path, capsys):
+    checkpoint_dir = tmp_path / "ckpts"
+    common = [
+        "train",
+        "--dataset", "wn18rr",
+        "--model", "DistMult",
+        "--scale", "tiny",
+        "--dim", "8",
+        "--quiet",
+    ]
+    assert main(common + ["--epochs", "2", "--checkpoint-dir", str(checkpoint_dir), "--checkpoint-every", "2"]) == 0
+    checkpoint = checkpoint_dir / "checkpoint-epoch-0002.npz"
+    assert checkpoint.exists()
+    assert main(common + ["--epochs", "3", "--resume", str(checkpoint)]) == 0
+    output = capsys.readouterr().out
+    # The resumed run only performs the remaining epoch but reports 3 total.
+    assert "3 epochs" in output
+
+
 def test_eval_worker_flags_are_parsed():
     args = build_parser().parse_args(
         ["experiment", "table1", "--eval-workers", "3", "--eval-shard-size", "16"]
