@@ -3,52 +3,57 @@
 Run with ``python examples/model_comparison.py``.
 
 This reproduces the heart of the paper's argument on a laptop in a couple of
-minutes: every embedding model is trained twice — once on the WN18-like
-replica (dominated by reverse and symmetric relations) and once on the
-WN18RR-like variant produced by the de-redundancy transform — and the
-side-by-side filtered metrics show the collapse the paper calls R1, together
-with the per-relation-category break-down of its §5.3 analysis.
+minutes, driven entirely by the declarative spec in
+``examples/specs/model_comparison.toml``: every core embedding model is
+trained on the WN18-like replica (dominated by reverse and symmetric
+relations) and on the WN18RR-like variant produced by the de-redundancy
+transform.  The side-by-side filtered metrics show the collapse the paper
+calls R1, together with the per-relation-category break-down of its §5.3
+analysis.  The spec also demonstrates a per-model override (ConvE trains with
+a different embedding dimension).
 """
 
 from __future__ import annotations
 
-from repro.core import dataset_relation_categories, make_wn18rr_like, render_matrix, render_table
-from repro.eval import category_side_hits, evaluate_model
-from repro.kg import wn18_like
-from repro.models import CORE_MODELS, ModelConfig, TrainingConfig, make_model, train_model
+from pathlib import Path
+
+from repro.api import ExperimentSpec, Runner
+from repro.core import render_matrix, render_table
+from repro.eval import category_side_hits
+from repro.experiments import WN18, WN18RR
+
+SPEC_PATH = Path(__file__).parent / "specs" / "model_comparison.toml"
 
 
 def main() -> None:
-    original = wn18_like(scale="tiny", seed=16)
-    clean = make_wn18rr_like(original)
-    training = TrainingConfig(epochs=40, batch_size=256, num_negatives=4, learning_rate=0.05)
+    spec = ExperimentSpec.load(SPEC_PATH)
+    runner = Runner(spec)
+    report = runner.run(stages=["ingest", "train", "evaluate"])
 
     rows = []
-    results_on_clean = {}
-    for model_name in CORE_MODELS:
-        for dataset in (original, clean):
-            extra = {"embedding_height": 4} if model_name == "ConvE" else {}
-            model = make_model(model_name, dataset.num_entities, dataset.num_relations,
-                               ModelConfig(dim=24, seed=0, extra=extra))
-            train_model(model, dataset, training)
-            evaluation = evaluate_model(model, dataset, model_name=model_name)
+    for dataset_name in (WN18, WN18RR):
+        for model_name in spec.models:
+            evaluation = runner.store[("evaluation", model_name, dataset_name)]
             metrics = evaluation.filtered_metrics()
             rows.append({
                 "model": model_name,
-                "dataset": dataset.name,
+                "dataset": dataset_name,
                 "FMR": metrics.mean_rank,
                 "FMRR": metrics.mean_reciprocal_rank,
                 "FHits@1": 100 * metrics.hits_at_1,
                 "FHits@10": 100 * metrics.hits_at_10,
             })
-            if dataset is clean:
-                results_on_clean[model_name] = evaluation
-        print(f"finished {model_name}")
+        print(f"finished {dataset_name}")
 
     print()
     print(render_table(rows, title="Filtered link-prediction metrics, WN18-like vs WN18RR-like"))
 
-    categories = dataset_relation_categories(clean)
+    from repro.api.pipeline import ensure_categories
+
+    categories = ensure_categories(runner.store, runner.config, WN18RR)
+    results_on_clean = {
+        model: runner.store[("evaluation", model, WN18RR)] for model in spec.models
+    }
     per_category = category_side_hits(results_on_clean, categories)
     flattened = {
         model: {f"{category}/{side}": value for category, sides in table.items() for side, value in sides.items()}

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-kgc",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Realistic Re-evaluation of Knowledge Graph Completion "
         "Methods: An Experimental Study' (SIGMOD 2020)"
@@ -20,7 +20,11 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    install_requires=["numpy>=1.22"],
+    install_requires=[
+        "numpy>=1.22",
+        # TOML spec files: stdlib tomllib from 3.11, the tomli backport below.
+        'tomli>=1.1; python_version < "3.11"',
+    ],
     extras_require={
         "test": ["pytest", "hypothesis"],
         "lint": ["ruff"],

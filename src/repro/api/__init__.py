@@ -1,0 +1,61 @@
+"""repro.api — the declarative experiment surface.
+
+Three layers:
+
+* :mod:`repro.api.schema` — the single source of truth for every knob
+  (defaults, types, ranges, CLI flags).  A pure-data leaf module.
+* :mod:`repro.api.spec` — :class:`ExperimentSpec`, a typed, nested,
+  serializable experiment specification with TOML/JSON round-trip and
+  all-errors validation.
+* :mod:`repro.api.pipeline` / :mod:`repro.api.artifacts` — named pipeline
+  stages executed by a :class:`Runner` over a spec-fingerprint-keyed
+  :class:`ArtifactStore`.
+
+Attributes are resolved lazily (PEP 562) so that leaf modules — notably
+``repro.api.schema``, which the trainer, evaluator and streaming ingester
+derive their defaults from — can be imported without dragging in the full
+pipeline machinery (and without import cycles).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "ExperimentSpec": "spec",
+    "SpecError": "spec",
+    "SpecValidationError": "spec",
+    "spec_template": "spec",
+    "diff_specs": "spec",
+    "ArtifactStore": "artifacts",
+    "artifact_key_string": "artifacts",
+    "Runner": "pipeline",
+    "RunReport": "pipeline",
+    "StageReport": "pipeline",
+}
+
+__all__ = sorted(_EXPORTS) + ["schema"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
+    from .artifacts import ArtifactStore, artifact_key_string  # noqa: F401
+    from .pipeline import Runner, RunReport, StageReport  # noqa: F401
+    from .spec import (  # noqa: F401
+        ExperimentSpec,
+        SpecError,
+        SpecValidationError,
+        diff_specs,
+        spec_template,
+    )
+
+
+def __getattr__(name: str):
+    from importlib import import_module
+
+    if name == "schema":
+        return import_module(".schema", __name__)
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    module = import_module(f".{module_name}", __name__)
+    return getattr(module, name)

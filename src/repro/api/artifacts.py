@@ -1,0 +1,101 @@
+"""The keyed artifact store behind the pipeline runner and the Workbench shim.
+
+Every expensive object an experiment produces — datasets, the simulated
+Freebase snapshot, audits, trained scorers, evaluation results — lives in one
+:class:`ArtifactStore` under a structured key, replacing the private
+per-kind dict caches the old ``Workbench`` god-object kept:
+
+========================== ==================================================
+key                        artifact
+========================== ==================================================
+``("dataset", name)``      :class:`repro.kg.dataset.Dataset`
+``("snapshot",)``          :class:`repro.kg.freebase.FreebaseSnapshot`
+``("redundancy", name)``   :class:`repro.core.redundancy.RedundancyReport`
+``("leakage", name)``      :class:`repro.core.leakage.LeakageReport`
+``("categories", name)``   ``Dict[int, str]`` relation categories
+``("scorer", m, d)``       trained model / rule / baseline scorer
+``("evaluation", m, d)``   :class:`repro.eval.ranking.EvaluationResult`
+``("ingest_report", name)``:class:`repro.kg.streaming.IngestReport`
+========================== ==================================================
+
+A store is stamped with the :meth:`~repro.api.spec.ExperimentSpec.fingerprint`
+of the spec it was built for; a :class:`~repro.api.pipeline.Runner` refuses to
+reuse a store stamped for a different spec, so a changed spec can never serve
+stale artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+ArtifactKey = Tuple[str, ...]
+
+
+def artifact_key_string(key: ArtifactKey) -> str:
+    """Human-readable rendering of a key (used by run reports and logs)."""
+    return "/".join(str(part) for part in key)
+
+
+class ArtifactStore:
+    """A keyed cache of experiment artifacts, stamped with a spec fingerprint."""
+
+    def __init__(self, fingerprint: str = "") -> None:
+        #: Fingerprint of the spec this store's artifacts belong to (empty for
+        #: ad-hoc stores, e.g. behind a legacy ``Workbench``).
+        self.fingerprint = fingerprint
+        self._artifacts: Dict[ArtifactKey, Any] = {}
+
+    # -- mapping surface ---------------------------------------------------------
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return tuple(key) in self._artifacts
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def __iter__(self) -> Iterator[ArtifactKey]:
+        return iter(self._artifacts)
+
+    def get(self, key: ArtifactKey, default: Any = None) -> Any:
+        return self._artifacts.get(tuple(key), default)
+
+    def __getitem__(self, key: ArtifactKey) -> Any:
+        return self._artifacts[tuple(key)]
+
+    def put(self, key: ArtifactKey, artifact: Any) -> Any:
+        self._artifacts[tuple(key)] = artifact
+        return artifact
+
+    def ensure(self, key: ArtifactKey, build: Callable[[], Any]) -> Any:
+        """The artifact under ``key``, building and caching it on first use."""
+        key = tuple(key)
+        if key not in self._artifacts:
+            self._artifacts[key] = build()
+        return self._artifacts[key]
+
+    def keys(self, kind: Optional[str] = None) -> List[ArtifactKey]:
+        """All keys, optionally restricted to one artifact kind."""
+        return [key for key in self._artifacts if kind is None or key[0] == kind]
+
+    # -- invalidation ------------------------------------------------------------
+    def drop(self, predicate: Callable[[ArtifactKey], bool]) -> List[ArtifactKey]:
+        """Remove every artifact whose key satisfies ``predicate``."""
+        dropped = [key for key in self._artifacts if predicate(key)]
+        for key in dropped:
+            del self._artifacts[key]
+        return dropped
+
+    def drop_dataset(self, name: str) -> List[ArtifactKey]:
+        """Drop a dataset and everything derived from it.
+
+        Re-ingesting under an existing name (or shadowing a built-in key) must
+        not serve analyses, scorers or evaluations computed for the old data.
+        """
+        def derived(key: ArtifactKey) -> bool:
+            kind = key[0]
+            if kind in ("dataset", "redundancy", "leakage", "categories", "ingest_report"):
+                return key[1] == name
+            if kind in ("scorer", "evaluation"):
+                return key[2] == name
+            return False
+
+        return self.drop(derived)

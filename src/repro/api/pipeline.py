@@ -1,0 +1,476 @@
+"""Named pipeline stages and the :class:`Runner` that executes a spec.
+
+The old ``Workbench`` god-object built every artifact lazily behind four
+private dict caches.  This module decomposes that surface into two pieces:
+
+* **builders** (``ensure_dataset``, ``ensure_redundancy``, ``ensure_scorer``,
+  ``ensure_evaluation``, ...): pure build-on-miss functions over an explicit
+  :class:`~repro.api.artifacts.ArtifactStore`.  The legacy ``Workbench``
+  delegates to exactly these functions, which is why a spec run is
+  bit-identical to the equivalent Workbench session.
+* **stages**: the named, composable phases of an experiment —
+  ``ingest -> audit -> deredundify -> train -> evaluate -> report`` — executed
+  in canonical order by a :class:`Runner` over one store.
+
+Stages are *materialization points*, not hard dependencies: the builders pull
+missing prerequisites on demand, so running only ``evaluate`` still trains
+what it needs.  Listing earlier stages makes the work (and its timing)
+explicit in the :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import schema
+from .artifacts import ArtifactStore, artifact_key_string
+from .spec import ExperimentSpec, SpecValidationError
+
+logger = logging.getLogger("repro.pipeline")
+
+
+# --------------------------------------------------------------------------- builders
+def ensure_dataset(store: ArtifactStore, config, name: str):
+    """Build (or fetch) one of the six benchmark replicas by key.
+
+    Replica pairs are built together (the de-redundant variant derives from
+    its original), and the FB15k build also deposits the simulated Freebase
+    snapshot under ``("snapshot",)``.
+    """
+    from ..core.deredundancy import make_fb15k237_like, make_wn18rr_like, make_yago_dr_like
+    from ..kg.freebase import fb15k_like
+    from ..kg.wordnet import wn18_like
+    from ..kg.yago import yago3_like
+
+    key = ("dataset", name)
+    if key in store:
+        return store[key]
+    if name in (schema.FB15K, schema.FB15K237):
+        fb, snapshot = fb15k_like(config.scale, config.seed)
+        store.put(("snapshot",), snapshot)
+        store.put(("dataset", schema.FB15K), fb)
+        store.put(("dataset", schema.FB15K237), make_fb15k237_like(fb))
+    elif name in (schema.WN18, schema.WN18RR):
+        wn = wn18_like(config.scale, config.seed + 3)
+        store.put(("dataset", schema.WN18), wn)
+        store.put(("dataset", schema.WN18RR), make_wn18rr_like(wn))
+    elif name in (schema.YAGO, schema.YAGO_DR):
+        yago = yago3_like(config.scale, config.seed + 7)
+        store.put(("dataset", schema.YAGO), yago)
+        store.put(
+            ("dataset", schema.YAGO_DR),
+            make_yago_dr_like(yago, theta_1=config.yago_theta, theta_2=config.yago_theta),
+        )
+    else:
+        raise KeyError(
+            f"unknown dataset key {name!r}; expected one of {schema.ALL_DATASETS} "
+            "or a previously ingested dataset name"
+        )
+    return store[key]
+
+
+def ensure_snapshot(store: ArtifactStore, config):
+    """The simulated Freebase snapshot behind the FB15k-like benchmark."""
+    if ("snapshot",) not in store:
+        ensure_dataset(store, config, schema.FB15K)
+    return store[("snapshot",)]
+
+
+def register_dataset(store: ArtifactStore, dataset) -> None:
+    """Install ``dataset`` under its name, dropping stale derived artifacts."""
+    store.drop_dataset(dataset.name)
+    store.put(("dataset", dataset.name), dataset)
+
+
+def ingest_dataset_into_store(
+    store: ArtifactStore, config, directory, name: Optional[str] = None, gzipped=None
+):
+    """Stream-ingest a TSV directory through the bounded-memory pipeline."""
+    from ..kg.streaming import ingest_dataset
+
+    report = ingest_dataset(
+        directory,
+        name=name,
+        chunk_size=config.ingest_chunk_size,
+        max_queue_chunks=config.ingest_max_queue_chunks,
+        gzipped=gzipped,
+    )
+    register_dataset(store, report.dataset)
+    store.put(("ingest_report", report.dataset.name), report)
+    return report.dataset
+
+
+def ensure_redundancy(store: ArtifactStore, config, dataset_name: str):
+    """The Section 4 redundancy report of one dataset."""
+    from ..core.redundancy import analyse_redundancy
+
+    def build():
+        dataset = ensure_dataset(store, config, dataset_name)
+        theta = (
+            config.yago_theta if dataset_name.startswith("YAGO") else config.audit_theta
+        )
+        return analyse_redundancy(dataset.all_triples(), theta, theta)
+
+    return store.ensure(("redundancy", dataset_name), build)
+
+
+def ensure_leakage(store: ArtifactStore, config, dataset_name: str):
+    from ..core.leakage import analyse_leakage
+
+    return store.ensure(
+        ("leakage", dataset_name),
+        lambda: analyse_leakage(
+            ensure_dataset(store, config, dataset_name),
+            ensure_redundancy(store, config, dataset_name),
+        ),
+    )
+
+
+def ensure_categories(store: ArtifactStore, config, dataset_name: str):
+    from ..core.categories import dataset_relation_categories
+
+    return store.ensure(
+        ("categories", dataset_name),
+        lambda: dataset_relation_categories(ensure_dataset(store, config, dataset_name)),
+    )
+
+
+def ensure_scorer(store: ArtifactStore, config, model_name: str, dataset_name: str):
+    """A trained scorer (embedding model, AMIE, simple rule or Cartesian baseline)."""
+    from ..core.baselines import SimpleRuleModel
+    from ..core.cartesian import CartesianProductPredictor
+    from ..models.registry import make_model
+    from ..models.trainer import train_model
+    from ..rules.amie import AmieConfig, AmieMiner
+    from ..rules.predictor import RuleBasedPredictor
+
+    key = ("scorer", model_name, dataset_name)
+    if key in store:
+        return store[key]
+    dataset = ensure_dataset(store, config, dataset_name)
+    if model_name == "AMIE":
+        rules = AmieMiner(dataset.train, AmieConfig()).mine()
+        scorer = RuleBasedPredictor(rules.rules, dataset.train, dataset.num_entities)
+    elif model_name == "SimpleModel":
+        scorer = SimpleRuleModel(dataset.train, dataset.num_entities)
+    elif model_name == "CartesianProduct":
+        scorer = CartesianProductPredictor(
+            dataset.train, dataset.num_entities, density_threshold=0.75
+        )
+    else:
+        model = make_model(
+            model_name,
+            dataset.num_entities,
+            dataset.num_relations,
+            config.model_config(model_name),
+        )
+        training = config.training_config()
+        if training.checkpoint_dir:
+            # One subdirectory per (model, dataset) pair so a whole
+            # benchmark session's checkpoints never collide.
+            training.checkpoint_dir = str(
+                Path(training.checkpoint_dir) / f"{model_name}--{dataset_name}"
+            )
+        train_model(model, dataset, training)
+        scorer = model
+    return store.put(key, scorer)
+
+
+def ensure_evaluation(store: ArtifactStore, config, model_name: str, dataset_name: str):
+    """Cached link-prediction evaluation of one scorer on one dataset."""
+    from ..eval.ranking import LinkPredictionEvaluator
+
+    key = ("evaluation", model_name, dataset_name)
+    if key in store:
+        return store[key]
+    dataset = ensure_dataset(store, config, dataset_name)
+    evaluator = LinkPredictionEvaluator(
+        dataset,
+        eval_batch_size=config.eval_batch_size,
+        n_workers=config.eval_workers,
+        shard_size=config.eval_shard_size,
+    )
+    result = evaluator.evaluate(
+        ensure_scorer(store, config, model_name, dataset_name), model_name=model_name
+    )
+    return store.put(key, result)
+
+
+# --------------------------------------------------------------------------- reports
+@dataclass
+class StageReport:
+    """Timing and output of one executed stage."""
+
+    name: str
+    seconds: float = 0.0
+    #: Keys of the artifacts this stage materialized (that did not exist before).
+    produced: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RunReport:
+    """What a :class:`Runner` did: stages, artifacts and evaluation tables."""
+
+    spec_name: str
+    fingerprint: str
+    stages: List[StageReport] = field(default_factory=list)
+    #: Evaluation rows per dataset (one row per model, paper-table style).
+    rows: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    #: Rendered human-readable report (the ``report`` stage's output).
+    text: str = ""
+
+    def stage(self, name: str) -> StageReport:
+        for report in self.stages:
+            if report.name == name:
+                return report
+        raise KeyError(f"stage {name!r} was not run")
+
+
+# --------------------------------------------------------------------------- runner
+class Runner:
+    """Executes the staged pipeline of one :class:`ExperimentSpec`.
+
+    The runner validates the spec, stamps (or checks) the artifact store with
+    the spec's fingerprint, and runs the requested stages in canonical order.
+    Artifacts persist in :attr:`store` across :meth:`run` calls, so a second
+    run (or a run of later stages) reuses everything already built.
+    """
+
+    def __init__(self, spec: ExperimentSpec, store: Optional[ArtifactStore] = None) -> None:
+        errors = spec.validate()
+        if errors:
+            raise SpecValidationError(errors)
+        self.spec = spec
+        fingerprint = spec.fingerprint()
+        if store is None:
+            store = ArtifactStore(fingerprint)
+        elif store.fingerprint and store.fingerprint != fingerprint:
+            raise ValueError(
+                f"artifact store was built for spec {store.fingerprint}, "
+                f"this spec fingerprints to {fingerprint}; use a fresh store"
+            )
+        store.fingerprint = fingerprint
+        self.store = store
+        self.config = spec.to_experiment_config()
+        #: Stages of the current :meth:`run` call (lets deredundify backfill
+        #: the audit of its freshly built dataset when both were selected).
+        self._selected_stages: Tuple[str, ...] = ()
+
+    # -- lineup ------------------------------------------------------------------
+    def lineup(self) -> Tuple[str, ...]:
+        """The evaluated scorers: the spec's models plus AMIE if requested."""
+        models = tuple(self.spec.models)
+        if self.spec.include_amie and "AMIE" not in models:
+            models = models + ("AMIE",)
+        return models
+
+    def dataset_names(self) -> List[str]:
+        """Datasets the run touches: the spec's list plus an unlisted source."""
+        names = list(self.spec.datasets)
+        source_name = self.spec.dataset.source_name
+        if self.spec.dataset.source and source_name and source_name not in names:
+            names.append(source_name)
+        return names
+
+    def _derived_name(self) -> Optional[str]:
+        source_name = self.spec.dataset.source_name
+        return f"{source_name}-deredundant" if source_name else None
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, stages: Optional[Sequence[str]] = None) -> RunReport:
+        """Run ``stages`` (default: the spec's) in canonical order."""
+        if stages is None:
+            selected = list(self.spec.stages)
+        else:
+            unknown = [stage for stage in stages if stage not in schema.STAGES]
+            if unknown:
+                raise ValueError(
+                    f"unknown stage(s) {unknown}; expected a subset of {schema.STAGES}"
+                )
+            selected = [stage for stage in schema.STAGES if stage in set(stages)]
+        report = RunReport(spec_name=self.spec.name, fingerprint=self.store.fingerprint)
+        self._selected_stages = tuple(selected)
+        for stage_name in selected:
+            before = set(self.store.keys())
+            started = time.perf_counter()
+            logger.info("[%s] stage %s ...", self.spec.name, stage_name)
+            getattr(self, f"_stage_{stage_name}")(report)
+            stage_report = StageReport(
+                name=stage_name,
+                seconds=time.perf_counter() - started,
+                produced=sorted(
+                    artifact_key_string(key)
+                    for key in set(self.store.keys()) - before
+                ),
+            )
+            report.stages.append(stage_report)
+            logger.info(
+                "[%s] stage %s done in %.2fs (%d new artifact(s))",
+                self.spec.name,
+                stage_name,
+                stage_report.seconds,
+                len(stage_report.produced),
+            )
+        return report
+
+    # -- source materialization ----------------------------------------------------
+    def _ensure_source(self) -> None:
+        """Ingest the declared TSV source if it is not in the store yet.
+
+        Built-in replicas build on demand inside :func:`ensure_dataset`, but a
+        streamed source only the spec knows about — this hook gives the later
+        stages the same pull-on-demand behaviour when run as a subset
+        (``run(stages=["train"])`` on a source spec).
+        """
+        dataset_section = self.spec.dataset
+        if not (dataset_section.source and dataset_section.source_name):
+            return
+        if ("dataset", dataset_section.source_name) in self.store:
+            return
+        ingest_dataset_into_store(
+            self.store,
+            self.config,
+            dataset_section.source,
+            name=dataset_section.source_name,
+            gzipped=self.spec.ingest.gzipped,
+        )
+
+    def _materialize_derived(self) -> None:
+        """Build the ``<source_name>-deredundant`` dataset from the source.
+
+        Idempotent: an already-materialized derived dataset is left alone, so
+        a second run over the same store keeps its cached scorers and
+        evaluations instead of evicting them through ``register_dataset``.
+        """
+        from ..core.deredundancy import remove_redundant_relations
+
+        source_name = self.spec.dataset.source_name
+        derived_name = self._derived_name()
+        if not source_name or ("dataset", derived_name) in self.store:
+            return
+        self._ensure_source()
+        config = self.spec.config_for(dataset=source_name)
+        dataset = ensure_dataset(self.store, config, source_name)
+        redundancy = ensure_redundancy(self.store, config, source_name)
+        derived = remove_redundant_relations(
+            dataset,
+            theta_1=config.audit_theta,
+            theta_2=config.audit_theta,
+            report=redundancy,
+        )
+        register_dataset(self.store, derived)
+
+    def _ensure_listed_datasets(self) -> None:
+        """Pull the source (and its derived variant, when listed) on demand."""
+        self._ensure_source()
+        derived = self._derived_name()
+        if derived and derived in self.spec.datasets and ("dataset", derived) not in self.store:
+            self._materialize_derived()
+
+    # -- stages ------------------------------------------------------------------
+    def _stage_ingest(self, report: RunReport) -> None:
+        """Materialize every dataset: built-in replicas and the TSV source."""
+        self._ensure_source()
+        derived = self._derived_name()
+        for name in self.dataset_names():
+            if name != derived:
+                ensure_dataset(self.store, self.config, name)
+
+    def _audit_dataset(self, name: str) -> None:
+        # Construction always uses the *global* config (overrides patch the
+        # analysis thresholds, never how a replica is built), so the same
+        # spec materializes the same datasets whatever stage subset runs.
+        ensure_dataset(self.store, self.config, name)
+        config = self.spec.config_for(dataset=name)
+        ensure_redundancy(self.store, config, name)
+        ensure_leakage(self.store, config, name)
+        ensure_categories(self.store, config, name)
+
+    def _stage_audit(self, report: RunReport) -> None:
+        """Redundancy, leakage and relation-category audits per dataset."""
+        self._ensure_source()
+        derived = self._derived_name()
+        for name in self.dataset_names():
+            if name == derived and ("dataset", name) not in self.store:
+                # Built by the later deredundify stage, which backfills the
+                # audit when this stage is part of the same run.
+                continue
+            self._audit_dataset(name)
+
+    def _stage_deredundify(self, report: RunReport) -> None:
+        """De-redundify the ingested source dataset (paper Section 5 transform)."""
+        self._materialize_derived()
+        derived = self._derived_name()
+        if (
+            derived
+            and ("dataset", derived) in self.store
+            and "audit" in self._selected_stages
+        ):
+            # The audit stage ran before this one could materialize the
+            # derived dataset; audit it now so one run covers everything.
+            self._audit_dataset(derived)
+
+    def _stage_train(self, report: RunReport) -> None:
+        """Train every (model, dataset) pair of the lineup."""
+        self._ensure_listed_datasets()
+        for dataset_name in self.spec.datasets:
+            # Materialize with the global config before per-pair overrides
+            # apply — construction must not depend on the stage subset.
+            ensure_dataset(self.store, self.config, dataset_name)
+            for model_name in self.lineup():
+                config = self.spec.config_for(model=model_name, dataset=dataset_name)
+                ensure_scorer(self.store, config, model_name, dataset_name)
+
+    def _stage_evaluate(self, report: RunReport) -> None:
+        """Link-prediction evaluation of every (model, dataset) pair."""
+        self._ensure_listed_datasets()
+        for dataset_name in self.spec.datasets:
+            ensure_dataset(self.store, self.config, dataset_name)
+            rows = []
+            for model_name in self.lineup():
+                config = self.spec.config_for(model=model_name, dataset=dataset_name)
+                rows.append(
+                    ensure_evaluation(self.store, config, model_name, dataset_name).as_row()
+                )
+            report.rows[dataset_name] = rows
+
+    def _stage_report(self, report: RunReport) -> None:
+        """Render the human-readable session report."""
+        from ..core.reporting import render_key_values, render_table
+        from ..kg.statistics import dataset_statistics
+
+        sections: List[str] = []
+        statistic_rows = [
+            dataset_statistics(self.store[("dataset", name)]).as_row()
+            for name in self.dataset_names()
+            if ("dataset", name) in self.store
+        ]
+        if statistic_rows:
+            sections.append(
+                render_table(statistic_rows, title=f"Datasets ({self.spec.name})")
+            )
+        for name in self.dataset_names():
+            if ("redundancy", name) not in self.store:
+                continue
+            redundancy = self.store[("redundancy", name)]
+            leakage = self.store.get(("leakage", name))
+            summary = {
+                "reverse relation pairs": len(redundancy.reverse_pairs),
+                "duplicate relation pairs": len(redundancy.duplicate_pairs),
+                "reverse-duplicate relation pairs": len(redundancy.reverse_duplicate_pairs),
+                "symmetric relations": len(redundancy.symmetric_relations),
+            }
+            if leakage is not None:
+                summary["test triples with any redundancy"] = leakage.test_redundant_share
+            sections.append(render_key_values(summary, title=f"Audit of {name}"))
+        for dataset_name, rows in report.rows.items():
+            sections.append(
+                render_table(rows, title=f"Link prediction on {dataset_name}")
+            )
+        if not report.rows and not sections:
+            sections.append(f"(no artifacts to report for spec {self.spec.name!r})")
+        report.text = "\n\n".join(sections)

@@ -1,7 +1,14 @@
 """Command-line interface for the reproduction toolkit.
 
-Five subcommands cover the workflows a downstream user needs:
+Seven subcommands cover the workflows a downstream user needs:
 
+``repro-kgc run``
+    Execute a declarative experiment spec (``.toml`` or ``.json``) through the
+    staged pipeline runner — the recommended way to run experiments.
+``repro-kgc spec``
+    Work with spec files: ``init`` writes a fully commented template,
+    ``validate`` checks files against the knob schema (reporting *all*
+    problems with did-you-mean suggestions), ``diff`` compares two specs.
 ``repro-kgc generate``
     Build the six benchmark replicas and export them as TSV directories.
 ``repro-kgc audit``
@@ -14,12 +21,19 @@ Five subcommands cover the workflows a downstream user needs:
     full split as labelled Python objects.
 ``repro-kgc train``
     Train one embedding model on one dataset — sparse row-gradient engine,
-    periodic validation with early stopping, checkpoint save/resume — and
-    report raw + filtered link-prediction metrics.  Progress goes through
-    the ``logging`` module (``--verbose`` / ``--quiet`` select the level).
+    periodic validation with early stopping and best-checkpoint restore,
+    checkpoint save/resume — and report raw + filtered link-prediction
+    metrics.  Progress goes through the ``logging`` module (``--verbose`` /
+    ``--quiet`` select the level).
 ``repro-kgc experiment``
     Regenerate one of the paper's tables or figures by its key (see
     ``repro.experiments.EXPERIMENT_INDEX``), or ``all`` of them.
+
+Per-knob flags are **generated from the knob schema**
+(:mod:`repro.api.schema`): one knob definition yields the CLI flag, a
+``REPRO_<SECTION>_<KNOB>`` environment override for its default, and the TOML
+key of the spec file — so the three surfaces cannot drift apart (a regression
+test asserts parser defaults equal schema defaults for every subcommand).
 
 The module is also importable: every subcommand is a plain function taking an
 ``argparse.Namespace``, and :func:`main` accepts an argument list, which is
@@ -30,10 +44,19 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+from .api import schema
+from .api.spec import (
+    ExperimentSpec,
+    SpecValidationError,
+    check_knob_value,
+    diff_specs,
+    spec_template,
+)
 from .core import (
     StreamingPairIndexBuilder,
     analyse_leakage,
@@ -48,11 +71,9 @@ from .core import (
     render_key_values,
     render_table,
 )
-from .eval import DEFAULT_EVAL_BATCH_SIZE, evaluate_model
-from .experiments import EXPERIMENT_INDEX, ExperimentConfig, Workbench
+from .eval import evaluate_model
+from .experiments import EXPERIMENT_INDEX, Workbench
 from .kg import (
-    DEFAULT_CHUNK_SIZE,
-    DEFAULT_MAX_QUEUE_CHUNKS,
     Dataset,
     DatasetIOError,
     dataset_statistics,
@@ -63,13 +84,7 @@ from .kg import (
     wn18_like,
     yago3_like,
 )
-from .models import (
-    ALL_EMBEDDING_MODELS,
-    ModelConfig,
-    TrainingConfig,
-    TrainingRun,
-    make_model,
-)
+from .models import ALL_EMBEDDING_MODELS, TrainingRun, make_model
 
 #: Names accepted by ``--dataset`` when not pointing at a directory.
 GENERATED_DATASETS = (
@@ -80,6 +95,115 @@ GENERATED_DATASETS = (
     "yago3-10",
     "yago3-10-dr",
 )
+
+#: Generated flags per subcommand: ``{command: {dest: (section, knob)}}``.
+#: The regression suite walks this to assert parser defaults == schema
+#: defaults; :func:`_parsed_knob_values` walks it to map parsed namespaces
+#: back onto spec sections.
+GENERATED_KNOB_FLAGS: Dict[str, Dict[str, Tuple[str, str]]] = {}
+
+_ENV_TRUE = ("1", "true", "yes", "on")
+_ENV_FALSE = ("0", "false", "no", "off")
+
+
+def _env_override(section: schema.Section, knob: schema.Knob) -> Optional[Any]:
+    """The knob's ``REPRO_*`` environment value parsed to its type, if set."""
+    raw = os.environ.get(knob.env_var(section.name))
+    if raw is None or raw.strip() == "":
+        return None
+    raw = raw.strip()
+    try:
+        if knob.type is bool:
+            lowered = raw.lower()
+            if lowered in _ENV_TRUE:
+                value = True
+            elif lowered in _ENV_FALSE:
+                value = False
+            else:
+                raise ValueError(f"not a boolean: {raw!r}")
+        else:
+            value = knob.type(raw)
+    except ValueError as error:
+        raise SystemExit(
+            f"invalid value for environment override {knob.env_var(section.name)}: {error}"
+        )
+    # The same range/choice checks a spec file goes through — an environment
+    # override may not smuggle in a value the schema would reject.
+    errors = check_knob_value(section.name, knob, value)
+    if errors:
+        raise SystemExit(
+            f"invalid value for environment override {knob.env_var(section.name)}: "
+            + "; ".join(error.message for error in errors)
+        )
+    return value
+
+
+def _add_schema_flags(
+    sub: argparse.ArgumentParser,
+    command: str,
+    section: schema.Section,
+    knob_names: Optional[Sequence[str]] = None,
+) -> None:
+    """Generate one argparse flag per knob of ``section`` onto ``sub``.
+
+    The flag's default comes from the schema, overridable through the knob's
+    ``REPRO_<SECTION>_<KNOB>`` environment variable.  Boolean knobs become
+    switches (inverted ones flip a ``True`` default, optional ones encode
+    "absent = auto"); everything else is a typed value flag.
+    """
+    registry = GENERATED_KNOB_FLAGS.setdefault(command, {})
+    for knob in section.knobs:
+        if knob_names is not None and knob.name not in knob_names:
+            continue
+        env = _env_override(section, knob)
+        help_text = f"{knob.help} [env: {knob.env_var(section.name)}]"
+        if knob.type is bool:
+            # store_true can only *set* the flag; the environment override
+            # provides the default, which for tri-state optional knobs may be
+            # an explicit False (e.g. REPRO_INGEST_GZIPPED=false forces
+            # plain-text reads where flag absence means auto-detect).
+            default = knob.parser_default() if env is None else (
+                not env if knob.invert_flag else env
+            )
+            sub.add_argument(
+                knob.cli_flag, action="store_true", default=default, help=help_text
+            )
+        else:
+            default = knob.parser_default() if env is None else env
+            sub.add_argument(
+                knob.cli_flag,
+                type=knob.type,
+                default=default,
+                choices=knob.choices,
+                help=help_text + f" (default: {default})",
+            )
+        registry[knob.cli_dest] = (section.name, knob.name)
+
+
+def _parsed_knob_values(args: argparse.Namespace, command: str) -> Dict[Tuple[str, str], Any]:
+    """Parsed generated-flag values mapped back onto ``(section, knob)`` pairs."""
+    values: Dict[Tuple[str, str], Any] = {}
+    for dest, (section_name, knob_name) in GENERATED_KNOB_FLAGS.get(command, {}).items():
+        knob = schema.section(section_name).knob(knob_name)
+        values[(section_name, knob_name)] = knob.from_parser_value(getattr(args, dest))
+    return values
+
+
+def _spec_from_args(args: argparse.Namespace, command: str) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` carrying the subcommand's parsed knob values.
+
+    The parsed values go through the same schema validation a spec file does
+    (ranges, cross-field rules), so every surface rejects the same values.
+    """
+    spec = ExperimentSpec()
+    for (section_name, knob_name), value in _parsed_knob_values(args, command).items():
+        setattr(getattr(spec, section_name), knob_name, value)
+    errors = spec.validate()
+    if errors:
+        raise SystemExit(
+            "invalid option value(s):\n" + "\n".join(f"  - {error}" for error in errors)
+        )
+    return spec
 
 
 def _build_named_dataset(name: str, scale: str, seed: int) -> Dataset:
@@ -105,7 +229,112 @@ def _resolve_dataset(spec: str, scale: str, seed: int) -> Dataset:
     return _build_named_dataset(spec, scale, seed)
 
 
-# ---------------------------------------------------------------------------- subcommands
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Map the CLI verbosity flags onto the ``repro`` logger level."""
+    level = logging.WARNING if quiet else (logging.DEBUG if verbose else logging.INFO)
+    logging.basicConfig(level=level, format="%(message)s")
+    logging.getLogger("repro").setLevel(level)
+
+
+# ---------------------------------------------------------------------------- spec/run
+def _load_spec_or_exit(path_text: str) -> ExperimentSpec:
+    path = Path(path_text)
+    try:
+        return ExperimentSpec.load(path)
+    except FileNotFoundError:
+        raise SystemExit(f"spec file not found: {path}")
+    except SpecValidationError as error:
+        raise SystemExit(f"{path}: {error}")
+    except ValueError as error:  # unknown suffix
+        raise SystemExit(str(error))
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """Execute a spec file through the staged pipeline runner."""
+    from .api.pipeline import Runner
+
+    _configure_logging(args.verbose, args.quiet)
+    spec = _load_spec_or_exit(args.spec)
+    runner = Runner(spec)
+    stages = None
+    if args.stages:
+        stages = [token.strip() for token in args.stages.split(",") if token.strip()]
+        unknown = [stage for stage in stages if stage not in schema.STAGES]
+        if unknown:
+            # Reject bad --stages input up front; errors raised *during* stage
+            # execution must keep their full traceback.
+            raise SystemExit(
+                f"unknown stage(s) {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(schema.STAGES)}"
+            )
+    report = runner.run(stages=stages)
+    print(f"spec {report.spec_name!r} (fingerprint {report.fingerprint})")
+    print(render_table(
+        [
+            {
+                "stage": stage.name,
+                "seconds": round(stage.seconds, 3),
+                "artifacts": len(stage.produced),
+            }
+            for stage in report.stages
+        ],
+        title="Stages",
+    ))
+    if report.text:
+        print()
+        print(report.text)
+    return 0
+
+
+def command_spec_init(args: argparse.Namespace) -> int:
+    """Write (or print) a fully commented spec template."""
+    template = spec_template()
+    if args.output == "-":
+        print(template, end="")
+    else:
+        path = Path(args.output)
+        if path.exists() and not args.force:
+            raise SystemExit(f"{path} exists; pass --force to overwrite")
+        path.write_text(template)
+        print(f"spec template written to {path}")
+    return 0
+
+
+def command_spec_validate(args: argparse.Namespace) -> int:
+    """Validate spec files against the knob schema; exit 1 on any problem."""
+    failures = 0
+    for path_text in args.paths:
+        path = Path(path_text)
+        try:
+            spec = ExperimentSpec.load(path)
+        except FileNotFoundError:
+            print(f"{path}: spec file not found")
+            failures += 1
+            continue
+        except ValueError as error:  # SpecValidationError or unknown suffix
+            print(f"{path}: {error}")
+            failures += 1
+            continue
+        print(f"{path}: OK ({spec.name!r}, fingerprint {spec.fingerprint()})")
+    return 1 if failures else 0
+
+
+def command_spec_diff(args: argparse.Namespace) -> int:
+    """Compare two specs (or one spec against the defaults); exit 1 if they differ."""
+    left = _load_spec_or_exit(args.left)
+    right = _load_spec_or_exit(args.right) if args.right else ExperimentSpec()
+    right_label = args.right or "<defaults>"
+    differences = diff_specs(left, right)
+    if not differences:
+        print(f"{args.left} and {right_label} declare identical experiments")
+        return 0
+    print(f"{args.left} vs {right_label}:")
+    for path, left_value, right_value in differences:
+        print(f"  {path}: {left_value!r} -> {right_value!r}")
+    return 1
+
+
+# ---------------------------------------------------------------------------- legacy subcommands
 def command_generate(args: argparse.Namespace) -> int:
     """Build the six replicas and write them under ``args.output``."""
     output = Path(args.output)
@@ -181,7 +410,7 @@ def command_ingest(args: argparse.Namespace) -> int:
             name=args.name,
             chunk_size=args.chunk_size,
             max_queue_chunks=args.max_queue_chunks,
-            gzipped=True if args.gzip else None,
+            gzipped=args.gzip,
             observers=(audit_index.observe,),
             progress=report_progress if args.progress else None,
             progress_every_chunks=args.progress_every,
@@ -244,45 +473,20 @@ def command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _configure_logging(verbose: bool, quiet: bool) -> None:
-    """Map the CLI verbosity flags onto the ``repro`` logger level."""
-    level = logging.WARNING if quiet else (logging.DEBUG if verbose else logging.INFO)
-    logging.basicConfig(level=level, format="%(message)s")
-    logging.getLogger("repro").setLevel(level)
-
-
 def command_train(args: argparse.Namespace) -> int:
     """Train one model on one dataset and print its evaluation row."""
     _configure_logging(args.verbose, args.quiet)
-    dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
-    extra = {"embedding_height": 4} if args.model == "ConvE" else {}
+    config = _spec_from_args(args, "train").to_experiment_config()
+    dataset = _resolve_dataset(args.dataset, config.scale, config.seed)
     model = make_model(
         args.model,
         dataset.num_entities,
         dataset.num_relations,
-        ModelConfig(dim=args.dim, seed=args.seed, extra=extra),
+        config.model_config(args.model),
     )
-    run = TrainingRun(
-        model,
-        dataset,
-        TrainingConfig(
-            epochs=args.epochs,
-            batch_size=args.batch_size,
-            learning_rate=args.learning_rate,
-            optimizer=args.optimizer,
-            num_negatives=args.negatives,
-            seed=args.seed,
-            verbose=not args.quiet,
-            sparse_updates=not args.dense_updates,
-            row_budget=args.row_budget,
-            validate_every=args.validate_every,
-            patience=args.patience,
-            validation_batch_size=args.eval_batch_size,
-            validation_workers=args.eval_workers,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-        ),
-    )
+    training = config.training_config()
+    training.verbose = not args.quiet
+    run = TrainingRun(model, dataset, training)
     if args.resume:
         run.restore(args.resume)
     result = run.train()
@@ -297,14 +501,16 @@ def command_train(args: argparse.Namespace) -> int:
         )
     if result.stopped_early:
         summary += " (stopped early)"
+    if result.restored_best:
+        summary += f" (restored best epoch {result.best_epoch})"
     print(summary)
     evaluation = evaluate_model(
         model,
         dataset,
         model_name=args.model,
-        eval_batch_size=args.eval_batch_size,
-        n_workers=args.eval_workers,
-        shard_size=args.eval_shard_size,
+        eval_batch_size=config.eval_batch_size,
+        n_workers=config.eval_workers,
+        shard_size=config.eval_shard_size,
     )
     print(render_table([evaluation.as_row()], title="Link prediction"))
     return 0
@@ -318,18 +524,7 @@ def command_experiment(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown experiment {unknown[0]!r}; available: {', '.join(EXPERIMENT_INDEX)}, all"
         )
-    config = ExperimentConfig(
-        scale=args.scale,
-        seed=args.seed,
-        dim=args.dim,
-        epochs=args.epochs,
-        eval_batch_size=args.eval_batch_size,
-        eval_workers=args.eval_workers,
-        eval_shard_size=args.eval_shard_size,
-        sparse_updates=not args.dense_updates,
-        validate_every=args.validate_every,
-        patience=args.patience,
-    )
+    config = _spec_from_args(args, "experiment").to_experiment_config()
     workbench = Workbench(config)
     for key in keys:
         result = EXPERIMENT_INDEX[key](workbench)
@@ -340,46 +535,61 @@ def command_experiment(args: argparse.Namespace) -> int:
 
 # ---------------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
+    # Generated-flag registries are rebuilt on every call (environment
+    # overrides are read at build time).
+    GENERATED_KNOB_FLAGS.clear()
     parser = argparse.ArgumentParser(
         prog="repro-kgc",
         description="Realistic re-evaluation of knowledge graph completion methods (SIGMOD 2020 reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--scale", default="tiny", help="synthetic benchmark scale (tiny/small/medium)")
-        sub.add_argument("--seed", type=int, default=13, help="random seed")
+    def add_common(sub: argparse.ArgumentParser, command: str) -> None:
+        _add_schema_flags(sub, command, schema.DATASET, ("scale", "seed"))
 
-    def add_eval_options(sub: argparse.ArgumentParser) -> None:
+    def add_verbosity(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--quiet", action="store_true", help="only warnings and errors")
         sub.add_argument(
-            "--eval-batch-size",
-            type=int,
-            default=DEFAULT_EVAL_BATCH_SIZE,
-            help="unique link-prediction queries scored per batched evaluator call",
+            "--verbose",
+            action="store_true",
+            help="debug logging (overrides the default INFO level)",
         )
-        sub.add_argument(
-            "--eval-workers",
-            type=int,
-            default=1,
-            help="worker processes for sharded link-prediction evaluation "
-            "(1 = exact in-process path; results are bit-identical at any count)",
-        )
-        sub.add_argument(
-            "--eval-shard-size",
-            type=int,
-            default=None,
-            help="queries per evaluation shard (default: one balanced shard per worker)",
-        )
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec through the staged pipeline"
+    )
+    run.add_argument("spec", help="experiment spec file (.toml or .json)")
+    run.add_argument(
+        "--stages",
+        default=None,
+        help=f"comma-separated stage subset (default: the spec's; from: {', '.join(schema.STAGES)})",
+    )
+    add_verbosity(run)
+    run.set_defaults(handler=command_run)
+
+    spec = subparsers.add_parser("spec", help="create, validate and diff experiment specs")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    spec_init = spec_sub.add_parser("init", help="write a fully commented spec template")
+    spec_init.add_argument("--output", default="-", help="target file ('-' = stdout)")
+    spec_init.add_argument("--force", action="store_true", help="overwrite an existing file")
+    spec_init.set_defaults(handler=command_spec_init)
+    spec_validate = spec_sub.add_parser("validate", help="validate spec files against the schema")
+    spec_validate.add_argument("paths", nargs="+", help="spec files (.toml or .json)")
+    spec_validate.set_defaults(handler=command_spec_validate)
+    spec_diff = spec_sub.add_parser("diff", help="compare two specs key by key")
+    spec_diff.add_argument("left", help="spec file")
+    spec_diff.add_argument("right", nargs="?", default=None, help="spec file (default: the schema defaults)")
+    spec_diff.set_defaults(handler=command_spec_diff)
 
     generate = subparsers.add_parser("generate", help="build and export the six benchmark replicas")
-    add_common(generate)
+    add_common(generate, "generate")
     generate.add_argument("--output", default="exported_datasets", help="output directory")
     generate.set_defaults(handler=command_generate)
 
     audit = subparsers.add_parser("audit", help="run the paper's redundancy audit on a dataset")
-    add_common(audit)
+    add_common(audit, "audit")
     audit.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
-    audit.add_argument("--theta", type=float, default=0.8, help="overlap / density threshold")
+    _add_schema_flags(audit, "audit", schema.AUDIT, ("theta",))
     audit.set_defaults(handler=command_audit)
 
     ingest = subparsers.add_parser(
@@ -388,24 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--input", required=True, help="TSV dataset directory (train/valid/test)")
     ingest.add_argument("--name", default=None, help="dataset name override")
-    ingest.add_argument(
-        "--chunk-size",
-        type=int,
-        default=DEFAULT_CHUNK_SIZE,
-        help="labelled triples per pipeline chunk",
-    )
-    ingest.add_argument(
-        "--max-queue-chunks",
-        type=int,
-        default=DEFAULT_MAX_QUEUE_CHUNKS,
-        help="bounded-queue depth in chunks; peak residency is chunk-size * (this + 2)",
-    )
-    ingest.add_argument(
-        "--gzip",
-        action="store_true",
-        help="read gzip-compressed split files (train.txt.gz, ...); default auto-detects",
-    )
-    ingest.add_argument("--theta", type=float, default=0.8, help="overlap / density threshold")
+    _add_schema_flags(ingest, "ingest", schema.INGEST)
+    _add_schema_flags(ingest, "ingest", schema.AUDIT, ("theta",))
     ingest.add_argument(
         "--deredundify",
         action="store_true",
@@ -424,80 +618,26 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.set_defaults(handler=command_ingest)
 
     train = subparsers.add_parser("train", help="train and evaluate one embedding model")
-    add_common(train)
+    add_common(train, "train")
     train.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
     train.add_argument("--model", default="TransE", choices=ALL_EMBEDDING_MODELS)
-    train.add_argument("--dim", type=int, default=24)
-    train.add_argument("--epochs", type=int, default=40)
-    train.add_argument("--batch-size", type=int, default=256)
-    train.add_argument("--learning-rate", type=float, default=0.05)
-    train.add_argument("--optimizer", default="adam", choices=("sgd", "adagrad", "adam"))
-    train.add_argument("--negatives", type=int, default=4)
-    train.add_argument(
-        "--dense-updates",
-        action="store_true",
-        help="use the dense reference training path instead of sparse row gradients",
-    )
-    train.add_argument(
-        "--row-budget",
-        type=int,
-        default=None,
-        help="max coalesced rows per sparse optimizer update before densifying the step",
-    )
-    train.add_argument(
-        "--validate-every",
-        type=int,
-        default=0,
-        help="epochs between validation-MRR passes (0 = no validation)",
-    )
-    train.add_argument(
-        "--patience",
-        type=int,
-        default=0,
-        help="validation checks without a new best MRR before early stopping (0 = off)",
-    )
-    train.add_argument(
-        "--checkpoint-dir",
-        default=None,
-        help="directory for periodic training checkpoints",
-    )
-    train.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=0,
-        help="epochs between checkpoints (0 disables periodic saves)",
-    )
+    _add_schema_flags(train, "train", schema.MODEL)
+    _add_schema_flags(train, "train", schema.TRAINING)
+    _add_schema_flags(train, "train", schema.EVALUATION)
     train.add_argument(
         "--resume",
         default=None,
         help="checkpoint .npz to restore before training (same model/dataset/config)",
     )
-    add_eval_options(train)
-    train.add_argument("--quiet", action="store_true", help="only warnings and errors")
-    train.add_argument(
-        "--verbose", action="store_true", help="per-epoch debug logging (overrides the default INFO level)"
-    )
+    add_verbosity(train)
     train.set_defaults(handler=command_train)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
-    add_common(experiment)
+    add_common(experiment, "experiment")
     experiment.add_argument("name", help=f"experiment key ({', '.join(EXPERIMENT_INDEX)}) or 'all'")
-    experiment.add_argument("--dim", type=int, default=16)
-    experiment.add_argument("--epochs", type=int, default=25)
-    experiment.add_argument(
-        "--dense-updates",
-        action="store_true",
-        help="train with the dense reference path instead of sparse row gradients",
-    )
-    experiment.add_argument(
-        "--validate-every", type=int, default=0,
-        help="epochs between validation passes while training each model (0 = off)",
-    )
-    experiment.add_argument(
-        "--patience", type=int, default=0,
-        help="validation checks without improvement before early stopping (0 = off)",
-    )
-    add_eval_options(experiment)
+    _add_schema_flags(experiment, "experiment", schema.MODEL)
+    _add_schema_flags(experiment, "experiment", schema.TRAINING)
+    _add_schema_flags(experiment, "experiment", schema.EVALUATION)
     experiment.set_defaults(handler=command_experiment)
 
     return parser

@@ -51,14 +51,16 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..api.schema import EVALUATION_DEFAULTS
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet
 from .metrics import MetricPair, RankingMetrics, metrics_from_rank_pairs
 from .sharding import ShardEntry, evaluate_shards, rank_shard
 
 #: Unique queries scored per batched scorer call; bounds the (B, E) score
-#: matrix so large-scale evaluations stay memory-bounded.
-DEFAULT_EVAL_BATCH_SIZE = 256
+#: matrix so large-scale evaluations stay memory-bounded.  The canonical
+#: value lives in the knob schema (``evaluation.batch_size``).
+DEFAULT_EVAL_BATCH_SIZE = EVALUATION_DEFAULTS["batch_size"]
 
 
 class CandidateScorer(Protocol):

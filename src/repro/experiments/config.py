@@ -1,91 +1,133 @@
-"""Experiment configuration and the shared :class:`Workbench`.
+"""Experiment configuration and the legacy :class:`Workbench` shim.
 
 Every table and figure of the paper is regenerated from the same pool of
 artefacts: the six benchmark datasets (three raw replicas and their
 de-redundant variants), the trained embedding models, the mined AMIE rules and
-the evaluation results.  The :class:`Workbench` builds those artefacts lazily
-and caches them, so the per-experiment drivers stay declarative and a whole
-benchmark session trains each (model, dataset) pair exactly once.
+the evaluation results.  Artefacts live in a
+:class:`repro.api.artifacts.ArtifactStore` and are built on demand by the
+stage builders of :mod:`repro.api.pipeline`, so the per-experiment drivers
+stay declarative and a whole benchmark session trains each (model, dataset)
+pair exactly once.
+
+.. deprecated::
+    :class:`Workbench` is the legacy imperative surface, kept as a thin shim
+    over the artifact store so existing drivers keep working unchanged.  New
+    code should declare a :class:`repro.api.ExperimentSpec` and execute it
+    with :class:`repro.api.Runner` (see ``docs/api.md`` for the migration
+    table); both paths share the same builders and produce bit-identical
+    results.
+
+Every :class:`ExperimentConfig` default derives from the knob schema of
+:mod:`repro.api.schema` — the same single source of truth behind
+``ExperimentSpec``, ``TrainingConfig`` and the generated CLI flags.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from ..core.baselines import SimpleRuleModel
-from ..core.cartesian import CartesianProductPredictor
-from ..core.categories import dataset_relation_categories
-from ..core.deredundancy import make_fb15k237_like, make_wn18rr_like, make_yago_dr_like
-from ..core.leakage import LeakageReport, analyse_leakage
-from ..core.redundancy import RedundancyReport, analyse_redundancy
-from ..eval.ranking import DEFAULT_EVAL_BATCH_SIZE, EvaluationResult, LinkPredictionEvaluator
+from ..api.artifacts import ArtifactStore
+from ..api.pipeline import (
+    ensure_categories,
+    ensure_dataset,
+    ensure_evaluation,
+    ensure_leakage,
+    ensure_redundancy,
+    ensure_scorer,
+    ensure_snapshot,
+    ingest_dataset_into_store,
+)
+from ..api.schema import (
+    ALL_DATASETS,
+    AUDIT_DEFAULTS,
+    DATASET_DEFAULTS,
+    EVALUATION_DEFAULTS,
+    FB15K,
+    FB15K237,
+    INGEST_DEFAULTS,
+    MODEL_DEFAULTS,
+    TRAINING_DEFAULTS,
+    WN18,
+    WN18RR,
+    YAGO,
+    YAGO_DR,
+)
+from ..core.leakage import LeakageReport
+from ..core.redundancy import RedundancyReport
+from ..eval.ranking import EvaluationResult
 from ..kg.dataset import Dataset
-from ..kg.streaming import DEFAULT_CHUNK_SIZE, DEFAULT_MAX_QUEUE_CHUNKS, load_dataset_streaming
-from ..kg.freebase import FreebaseSnapshot, fb15k_like
-from ..kg.wordnet import wn18_like
-from ..kg.yago import yago3_like
+from ..kg.freebase import FreebaseSnapshot
 from ..models.base import ModelConfig
-from ..models.registry import CORE_MODELS, make_model
-from ..models.trainer import TrainingConfig, train_model
-from ..rules.amie import AmieConfig, AmieMiner
-from ..rules.predictor import RuleBasedPredictor
+from ..models.registry import CORE_MODELS
+from ..models.trainer import TrainingConfig
 
-#: Dataset keys used throughout the experiment drivers.
-FB15K = "FB15k-like"
-FB15K237 = "FB15k-237-like"
-WN18 = "WN18-like"
-WN18RR = "WN18RR-like"
-YAGO = "YAGO3-10-like"
-YAGO_DR = "YAGO3-10-like-DR"
-
-ALL_DATASETS = (FB15K, FB15K237, WN18, WN18RR, YAGO, YAGO_DR)
+__all__ = [
+    "ALL_DATASETS",
+    "FB15K",
+    "FB15K237",
+    "WN18",
+    "WN18RR",
+    "YAGO",
+    "YAGO_DR",
+    "ExperimentConfig",
+    "Workbench",
+]
 
 
 @dataclass
 class ExperimentConfig:
     """Scale and training knobs shared by every experiment driver."""
 
-    scale: str = "tiny"
-    seed: int = 13
-    dim: int = 16
-    epochs: int = 30
-    batch_size: int = 256
-    num_negatives: int = 2
-    learning_rate: float = 0.05
+    scale: str = DATASET_DEFAULTS["scale"]
+    seed: int = DATASET_DEFAULTS["seed"]
+    dim: int = MODEL_DEFAULTS["dim"]
+    epochs: int = TRAINING_DEFAULTS["epochs"]
+    batch_size: int = TRAINING_DEFAULTS["batch_size"]
+    num_negatives: int = TRAINING_DEFAULTS["num_negatives"]
+    learning_rate: float = TRAINING_DEFAULTS["learning_rate"]
+    #: Stochastic optimizer of the training loop.
+    optimizer: str = TRAINING_DEFAULTS["optimizer"]
+    #: Loss family ("default" = each model's own preference).
+    loss: str = TRAINING_DEFAULTS["loss"]
+    margin: float = TRAINING_DEFAULTS["margin"]
+    sampler: str = TRAINING_DEFAULTS["sampler"]
     #: Unique link-prediction queries scored per batched evaluator call.
-    eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE
+    eval_batch_size: int = EVALUATION_DEFAULTS["batch_size"]
     #: Worker processes for the sharded link-prediction evaluation
     #: (``1`` = exact in-process batched path, no pool).
-    eval_workers: int = 1
+    eval_workers: int = EVALUATION_DEFAULTS["workers"]
     #: Queries per evaluation shard (``None`` = one balanced shard per worker).
-    eval_shard_size: Optional[int] = None
+    eval_shard_size: Optional[int] = EVALUATION_DEFAULTS["shard_size"]
     #: Labelled triples per chunk of the streaming TSV ingestion pipeline
     #: (:meth:`Workbench.ingest`).
-    ingest_chunk_size: int = DEFAULT_CHUNK_SIZE
+    ingest_chunk_size: int = INGEST_DEFAULTS["chunk_size"]
     #: Bounded-queue depth (in chunks) of the ingest pipeline; peak
     #: labelled-triple residency is ``ingest_chunk_size * (ingest_max_queue_chunks + 2)``.
-    ingest_max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
+    ingest_max_queue_chunks: int = INGEST_DEFAULTS["max_queue_chunks"]
     #: Row-indexed sparse gradients + lazy per-row optimizer updates
     #: (``False`` = the dense reference training path).
-    sparse_updates: bool = True
+    sparse_updates: bool = TRAINING_DEFAULTS["sparse_updates"]
     #: Max coalesced rows per sparse optimizer update before the step is
     #: densified (``None`` = never).
-    row_budget: Optional[int] = None
+    row_budget: Optional[int] = TRAINING_DEFAULTS["row_budget"]
     #: Epochs between validation-MRR passes during training (0 = off).
-    validate_every: int = 0
+    validate_every: int = TRAINING_DEFAULTS["validate_every"]
     #: Validation checks without a new best MRR before early stopping (0 = off).
-    patience: int = 0
+    patience: int = TRAINING_DEFAULTS["patience"]
+    #: Reload the best-validation-MRR snapshot before a training run returns.
+    restore_best: bool = TRAINING_DEFAULTS["restore_best"]
     #: Directory for periodic training checkpoints (None = off).
-    checkpoint_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = TRAINING_DEFAULTS["checkpoint_dir"]
     #: Epochs between checkpoints (0 disables periodic saves).
-    checkpoint_every: int = 0
+    checkpoint_every: int = TRAINING_DEFAULTS["checkpoint_every"]
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
+    #: Overlap / density threshold of the Section 4 redundancy audit.
+    audit_theta: float = AUDIT_DEFAULTS["theta"]
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
     #: 0.8 for FB15k but treats the 0.75-overlap YAGO pair as duplicates).
-    yago_theta: float = 0.7
+    yago_theta: float = AUDIT_DEFAULTS["yago_theta"]
 
     def model_config(self, model_name: str) -> ModelConfig:
         extra: Dict[str, float] = {}
@@ -98,12 +140,17 @@ class ExperimentConfig:
             epochs=self.epochs,
             batch_size=self.batch_size,
             learning_rate=self.learning_rate,
+            optimizer=self.optimizer,
             num_negatives=self.num_negatives,
+            loss=self.loss,
+            margin=self.margin,
+            sampler=self.sampler,
             seed=self.seed,
             sparse_updates=self.sparse_updates,
             row_budget=self.row_budget,
             validate_every=self.validate_every,
             patience=self.patience,
+            restore_best=self.restore_best,
             validation_batch_size=self.eval_batch_size,
             validation_workers=self.eval_workers,
             checkpoint_dir=self.checkpoint_dir,
@@ -112,49 +159,34 @@ class ExperimentConfig:
 
 
 class Workbench:
-    """Lazily builds and caches datasets, models and evaluation results."""
+    """Legacy lazy-building surface, now a thin shim over the artifact store.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    .. deprecated::
+        Prefer declaring a :class:`repro.api.ExperimentSpec` and running it
+        through :class:`repro.api.Runner`.  This class survives so existing
+        drivers and tests keep passing: every accessor delegates to the same
+        :mod:`repro.api.pipeline` builders the runner uses, over one shared
+        :class:`~repro.api.artifacts.ArtifactStore` (exposed as
+        :attr:`artifacts`), so the two surfaces are bit-identical.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
-        self._datasets: Dict[str, Dataset] = {}
-        self._snapshot: Optional[FreebaseSnapshot] = None
-        self._scorers: Dict[Tuple[str, str], object] = {}
-        self._evaluations: Dict[Tuple[str, str], EvaluationResult] = {}
-        self._leakage: Dict[str, LeakageReport] = {}
-        self._redundancy: Dict[str, RedundancyReport] = {}
-        self._categories: Dict[str, Dict[int, str]] = {}
+        #: The keyed artifact store replacing the old private dict caches.
+        self.artifacts = store if store is not None else ArtifactStore()
 
     # -- datasets ----------------------------------------------------------------
     def snapshot(self) -> FreebaseSnapshot:
         """The simulated Freebase snapshot behind the FB15k-like benchmark."""
-        if self._snapshot is None:
-            self.dataset(FB15K)
-        assert self._snapshot is not None
-        return self._snapshot
+        return ensure_snapshot(self.artifacts, self.config)
 
     def dataset(self, name: str) -> Dataset:
         """Build (or fetch) one of the six benchmark datasets by key."""
-        if name in self._datasets:
-            return self._datasets[name]
-        config = self.config
-        if name in (FB15K, FB15K237):
-            fb, snapshot = fb15k_like(config.scale, config.seed)
-            self._snapshot = snapshot
-            self._datasets[FB15K] = fb
-            self._datasets[FB15K237] = make_fb15k237_like(fb)
-        elif name in (WN18, WN18RR):
-            wn = wn18_like(config.scale, config.seed + 3)
-            self._datasets[WN18] = wn
-            self._datasets[WN18RR] = make_wn18rr_like(wn)
-        elif name in (YAGO, YAGO_DR):
-            yago = yago3_like(config.scale, config.seed + 7)
-            self._datasets[YAGO] = yago
-            self._datasets[YAGO_DR] = make_yago_dr_like(
-                yago, theta_1=config.yago_theta, theta_2=config.yago_theta
-            )
-        else:
-            raise KeyError(f"unknown dataset key {name!r}; expected one of {ALL_DATASETS}")
-        return self._datasets[name]
+        return ensure_dataset(self.artifacts, self.config, name)
 
     def all_datasets(self) -> Dict[str, Dataset]:
         return {name: self.dataset(name) for name in ALL_DATASETS}
@@ -167,110 +199,29 @@ class Workbench:
         ``ingest_max_queue_chunks`` budget and cached like the built-in
         replicas, so every analysis and evaluation accessor
         (:meth:`redundancy`, :meth:`leakage`, :meth:`evaluation`, ...) works
-        on it by its name.
+        on it by its name.  Re-ingesting an existing name drops every stale
+        artifact derived from the old data.
         """
-        dataset = load_dataset_streaming(
-            directory,
-            name=name,
-            chunk_size=self.config.ingest_chunk_size,
-            max_queue_chunks=self.config.ingest_max_queue_chunks,
-        )
-        self._register_dataset(dataset)
-        return dataset
-
-    def _register_dataset(self, dataset: Dataset) -> None:
-        """Install ``dataset`` under its name, dropping stale per-name caches.
-
-        Re-ingesting under an existing name (or shadowing a built-in key) must
-        not serve analyses or evaluations computed for the old data.
-        """
-        name = dataset.name
-        self._datasets[name] = dataset
-        self._redundancy.pop(name, None)
-        self._leakage.pop(name, None)
-        self._categories.pop(name, None)
-        for key in [k for k in self._scorers if k[1] == name]:
-            del self._scorers[key]
-        for key in [k for k in self._evaluations if k[1] == name]:
-            del self._evaluations[key]
+        return ingest_dataset_into_store(self.artifacts, self.config, directory, name=name)
 
     # -- analyses -----------------------------------------------------------------
     def redundancy(self, dataset_name: str) -> RedundancyReport:
-        if dataset_name not in self._redundancy:
-            dataset = self.dataset(dataset_name)
-            theta = self.config.yago_theta if dataset_name.startswith("YAGO") else 0.8
-            self._redundancy[dataset_name] = analyse_redundancy(
-                dataset.all_triples(), theta, theta
-            )
-        return self._redundancy[dataset_name]
+        return ensure_redundancy(self.artifacts, self.config, dataset_name)
 
     def leakage(self, dataset_name: str) -> LeakageReport:
-        if dataset_name not in self._leakage:
-            dataset = self.dataset(dataset_name)
-            self._leakage[dataset_name] = analyse_leakage(
-                dataset, self.redundancy(dataset_name)
-            )
-        return self._leakage[dataset_name]
+        return ensure_leakage(self.artifacts, self.config, dataset_name)
 
     def relation_categories(self, dataset_name: str) -> Dict[int, str]:
-        if dataset_name not in self._categories:
-            self._categories[dataset_name] = dataset_relation_categories(
-                self.dataset(dataset_name)
-            )
-        return self._categories[dataset_name]
+        return ensure_categories(self.artifacts, self.config, dataset_name)
 
     # -- models and evaluations -------------------------------------------------------
     def scorer(self, model_name: str, dataset_name: str):
         """A trained scorer (embedding model, AMIE, simple rule or Cartesian baseline)."""
-        key = (model_name, dataset_name)
-        if key in self._scorers:
-            return self._scorers[key]
-        dataset = self.dataset(dataset_name)
-        if model_name == "AMIE":
-            rules = AmieMiner(dataset.train, AmieConfig()).mine()
-            scorer = RuleBasedPredictor(rules.rules, dataset.train, dataset.num_entities)
-        elif model_name == "SimpleModel":
-            scorer = SimpleRuleModel(dataset.train, dataset.num_entities)
-        elif model_name == "CartesianProduct":
-            scorer = CartesianProductPredictor(
-                dataset.train, dataset.num_entities, density_threshold=0.75
-            )
-        else:
-            model = make_model(
-                model_name,
-                dataset.num_entities,
-                dataset.num_relations,
-                self.config.model_config(model_name),
-            )
-            training = self.config.training_config()
-            if training.checkpoint_dir:
-                # One subdirectory per (model, dataset) pair so a whole
-                # benchmark session's checkpoints never collide.
-                training.checkpoint_dir = str(
-                    Path(training.checkpoint_dir) / f"{model_name}--{dataset_name}"
-                )
-            train_model(model, dataset, training)
-            scorer = model
-        self._scorers[key] = scorer
-        return scorer
+        return ensure_scorer(self.artifacts, self.config, model_name, dataset_name)
 
     def evaluation(self, model_name: str, dataset_name: str) -> EvaluationResult:
         """Cached link-prediction evaluation of one scorer on one dataset."""
-        key = (model_name, dataset_name)
-        if key in self._evaluations:
-            return self._evaluations[key]
-        dataset = self.dataset(dataset_name)
-        evaluator = LinkPredictionEvaluator(
-            dataset,
-            eval_batch_size=self.config.eval_batch_size,
-            n_workers=self.config.eval_workers,
-            shard_size=self.config.eval_shard_size,
-        )
-        result = evaluator.evaluate(
-            self.scorer(model_name, dataset_name), model_name=model_name
-        )
-        self._evaluations[key] = result
-        return result
+        return ensure_evaluation(self.artifacts, self.config, model_name, dataset_name)
 
     def evaluations(self, model_names, dataset_name: str) -> Dict[str, EvaluationResult]:
         return {name: self.evaluation(name, dataset_name) for name in model_names}

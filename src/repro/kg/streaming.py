@@ -51,11 +51,15 @@ from .statistics import DatasetStatistics, StreamingStatisticsBuilder
 from .triples import Triple, TripleSet
 from .vocabulary import Vocabulary
 
-#: Labelled triples per pipeline chunk (the unit of parsing, queueing, interning).
-DEFAULT_CHUNK_SIZE = 4096
+from ..api.schema import INGEST_DEFAULTS
 
-#: Chunks the bounded queue may hold before the reader thread blocks.
-DEFAULT_MAX_QUEUE_CHUNKS = 4
+#: Labelled triples per pipeline chunk (the unit of parsing, queueing, interning).
+#: The canonical value lives in the knob schema (``ingest.chunk_size``).
+DEFAULT_CHUNK_SIZE = INGEST_DEFAULTS["chunk_size"]
+
+#: Chunks the bounded queue may hold before the reader thread blocks
+#: (``ingest.max_queue_chunks`` in the knob schema).
+DEFAULT_MAX_QUEUE_CHUNKS = INGEST_DEFAULTS["max_queue_chunks"]
 
 #: One chunk in the producer's hand plus one being consumed sit outside the
 #: queue, so the pipeline's hard residency bound is ``max_queue_chunks + 2``

@@ -25,6 +25,10 @@ Beyond the bare epoch loop, a run manages the full training lifecycle:
   :class:`~repro.eval.ranking.LinkPredictionEvaluator` used for testing;
 * **patience-based early stopping** (``patience`` validation checks without a
   new best MRR);
+* **best-checkpoint restoration** (``restore_best``): the parameters at the
+  best validation MRR are snapshotted and reloaded before :meth:`train`
+  returns, so an early-stopped run hands back its best model, not its last;
+  the snapshot rides along in checkpoints, keeping resume bit-identical;
 * a **NaN-loss abort** that raises :class:`NaNLossError` with the exact
   epoch/batch instead of silently optimizing garbage;
 * **checkpointing** (``checkpoint_dir`` / ``checkpoint_every``): parameters,
@@ -54,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..api.schema import TRAINING_DEFAULTS
 from ..eval.ranking import DEFAULT_EVAL_BATCH_SIZE, LinkPredictionEvaluator
 from ..kg.dataset import Dataset
 from ..kg.sampling import BernoulliNegativeSampler, UniformNegativeSampler
@@ -78,39 +83,50 @@ class NaNLossError(RuntimeError):
 
 @dataclass
 class TrainingConfig:
-    """Hyper-parameters and lifecycle knobs of a training run."""
+    """Hyper-parameters and lifecycle knobs of a training run.
 
-    epochs: int = 60
-    batch_size: int = 512
-    learning_rate: float = 0.05
-    optimizer: str = "adam"
-    num_negatives: int = 4
-    loss: str = "default"
-    margin: float = 1.0
-    sampler: str = "bernoulli"
+    Hyper-parameter defaults derive from the knob schema of
+    :mod:`repro.api.schema` — the same definitions behind
+    ``ExperimentSpec.training``, ``ExperimentConfig`` and the generated CLI
+    flags — so the four surfaces cannot drift apart.
+    """
+
+    epochs: int = TRAINING_DEFAULTS["epochs"]
+    batch_size: int = TRAINING_DEFAULTS["batch_size"]
+    learning_rate: float = TRAINING_DEFAULTS["learning_rate"]
+    optimizer: str = TRAINING_DEFAULTS["optimizer"]
+    num_negatives: int = TRAINING_DEFAULTS["num_negatives"]
+    loss: str = TRAINING_DEFAULTS["loss"]
+    margin: float = TRAINING_DEFAULTS["margin"]
+    sampler: str = TRAINING_DEFAULTS["sampler"]
     seed: int = 0
     verbose: bool = False
     log_every: int = 10
     #: Row-indexed gradients + lazy per-row optimizer updates (the fast path).
     #: ``False`` selects the dense reference path the sparse engine is
     #: regression-tested against.
-    sparse_updates: bool = True
+    sparse_updates: bool = TRAINING_DEFAULTS["sparse_updates"]
     #: Max coalesced rows per sparse update before densifying the step
     #: (``None`` = never densify).
-    row_budget: Optional[int] = None
+    row_budget: Optional[int] = TRAINING_DEFAULTS["row_budget"]
     #: Epochs between validation-MRR passes (0 = no validation).
-    validate_every: int = 0
+    validate_every: int = TRAINING_DEFAULTS["validate_every"]
     #: Validation checks without a new best filtered MRR before stopping
     #: (0 = never stop early; only meaningful with ``validate_every > 0``).
-    patience: int = 0
+    patience: int = TRAINING_DEFAULTS["patience"]
+    #: Keep an in-memory snapshot of the parameters at the best validation
+    #: MRR and reload it before :meth:`TrainingRun.train` returns (so early
+    #: stopping hands back the *best* model, not the last one).  The snapshot
+    #: rides along in checkpoints, keeping resumed runs bit-identical.
+    restore_best: bool = TRAINING_DEFAULTS["restore_best"]
     #: Unique queries per batched evaluator call during validation.
     validation_batch_size: int = DEFAULT_EVAL_BATCH_SIZE
     #: Worker processes for the sharded validation evaluator (1 = in-process).
     validation_workers: int = 1
     #: Directory for periodic checkpoints (None = no checkpointing).
-    checkpoint_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = TRAINING_DEFAULTS["checkpoint_dir"]
     #: Epochs between checkpoints (0 disables periodic saves even with a dir).
-    checkpoint_every: int = 0
+    checkpoint_every: int = TRAINING_DEFAULTS["checkpoint_every"]
 
 
 @dataclass
@@ -127,6 +143,9 @@ class TrainingResult:
     stopped_early: bool = False
     #: 1-based epoch of the best validation MRR seen (None = never validated).
     best_epoch: Optional[int] = None
+    #: The final parameters are the ``best_epoch`` snapshot, not the last
+    #: epoch's (``TrainingConfig.restore_best``).
+    restored_best: bool = False
 
     @property
     def final_loss(self) -> float:
@@ -214,6 +233,14 @@ class TrainingRun:
         self._stale_validations = 0
         self._stop_requested = False
         self._validator: Optional[LinkPredictionEvaluator] = None
+        #: Parameter snapshot at the best validation MRR (``restore_best``).
+        self._best_params: Optional[Dict[str, np.ndarray]] = None
+        if self.config.restore_best and self.config.validate_every <= 0:
+            logger.warning(
+                "restore_best is set but validate_every=%d disables validation; "
+                "no best checkpoint will ever be captured",
+                self.config.validate_every,
+            )
 
     # -- callback / control surface ----------------------------------------------
     def request_stop(self) -> None:
@@ -261,8 +288,28 @@ class TrainingRun:
                 )
 
         self.model.train_mode(False)
+        self._restore_best_params()
         self.result.seconds += time.perf_counter() - started
         return self.result
+
+    def _restore_best_params(self) -> None:
+        """Reload the best-validation snapshot into the model (``restore_best``)."""
+        if not (self.config.restore_best and self._best_params is not None):
+            return
+        for name, parameter in self.model.parameters().items():
+            parameter.data[...] = self._best_params[name]
+        # Restored values invalidate gradients and model-level caches.
+        self.model.zero_grad()
+        self.result.restored_best = True
+        logger.info(
+            "[%s on %s] restored best-validation parameters from epoch %s "
+            "(MRR %.4f; last trained epoch %d)",
+            self.model.name,
+            self.dataset.name,
+            self.result.best_epoch,
+            self._best_mrr,
+            self.epoch,
+        )
 
     def _train_batch(self, batch: np.ndarray, epoch: int, batch_index: int) -> float:
         negatives, positive_index = self.sampler.sample(batch, self.config.num_negatives)
@@ -359,6 +406,11 @@ class TrainingRun:
             self._best_mrr = mrr
             self.result.best_epoch = epoch + 1
             self._stale_validations = 0
+            if self.config.restore_best:
+                self._best_params = {
+                    name: parameter.data.copy()
+                    for name, parameter in self.model.parameters().items()
+                }
         else:
             self._stale_validations += 1
             if 0 < self.config.patience <= self._stale_validations:
@@ -406,6 +458,11 @@ class TrainingRun:
         }
         for name, parameter in self.model.parameters().items():
             payload[f"param__{name}"] = parameter.data
+        if self._best_params is not None:
+            # Optional additive keys (readers that predate them ignore them),
+            # so the checkpoint version stays unchanged.
+            for name, data in self._best_params.items():
+                payload[f"best__{name}"] = data
         for key, value in self.optimizer.state_dict().items():
             payload[f"opt__{key}"] = value
         np.savez(path, **payload)
@@ -447,6 +504,9 @@ class TrainingRun:
                         f"{stored_param.shape} != {parameter.data.shape}"
                     )
                 parameter.data[...] = stored_param
+            best_keys = [key for key in data.files if key.startswith("best__")]
+            if best_keys:
+                self._best_params = {key[len("best__"):]: data[key] for key in best_keys}
             self.optimizer.load_state_dict(
                 {key[len("opt__"):]: data[key] for key in data.files if key.startswith("opt__")}
             )

@@ -278,6 +278,90 @@ def test_restore_rejects_mismatched_model(toy_dataset, tmp_path):
         TrainingRun(other_model, toy_dataset, other_config).restore(checkpoint)
 
 
+# ------------------------------------------------------------------ restore_best
+class _ParamSnapshots(TrainingCallback):
+    """Record a full parameter snapshot at every validation pass."""
+
+    def __init__(self):
+        self.snapshots = {}
+
+    def on_validation(self, run, epoch, mrr):
+        self.snapshots[epoch + 1] = {
+            name: p.data.copy() for name, p in run.model.parameters().items()
+        }
+
+
+def test_restore_best_reloads_best_epoch_parameters(toy_dataset):
+    """With restore_best the final parameters are the best epoch's, not the last."""
+    snapshots = _ParamSnapshots()
+    model, config = _make(
+        "DistMult", toy_dataset, learning_rate=1e-12, validate_every=1, restore_best=True
+    )
+    result = TrainingRun(model, toy_dataset, config, callbacks=[snapshots]).train()
+    # A vanishing learning rate keeps the MRR flat, so the strictly-better
+    # rule pins the best at the first validation.
+    assert result.best_epoch == 1
+    assert result.restored_best is True
+    best = snapshots.snapshots[result.best_epoch]
+    last = snapshots.snapshots[max(snapshots.snapshots)]
+    for name, parameter in model.parameters().items():
+        assert np.array_equal(parameter.data, best[name]), name
+    # ... and the best genuinely differs from the last epoch's parameters.
+    assert any(
+        not np.array_equal(best[name], last[name]) for name in best
+    )
+
+
+def test_restore_best_off_keeps_last_epoch_parameters(toy_dataset):
+    snapshots = _ParamSnapshots()
+    model, config = _make("DistMult", toy_dataset, learning_rate=1e-12, validate_every=1)
+    result = TrainingRun(model, toy_dataset, config, callbacks=[snapshots]).train()
+    assert result.restored_best is False
+    last = snapshots.snapshots[max(snapshots.snapshots)]
+    for name, parameter in model.parameters().items():
+        assert np.array_equal(parameter.data, last[name]), name
+
+
+def test_restore_best_resume_is_bit_identical(toy_dataset, tmp_path):
+    """The best-parameter snapshot rides along in checkpoints."""
+    total_epochs = 6
+
+    def fresh():
+        model, config = _make(
+            "DistMult", toy_dataset, learning_rate=1e-12, validate_every=1,
+            restore_best=True,
+        )
+        config.epochs = total_epochs
+        return model, config
+
+    model_a, config_a = fresh()
+    result_a = TrainingRun(model_a, toy_dataset, config_a).train()
+    assert result_a.restored_best is True
+
+    model_b, config_b = fresh()
+    config_b.epochs = 3
+    first_leg = TrainingRun(model_b, toy_dataset, config_b)
+    first_leg.train()
+    checkpoint = first_leg.save_checkpoint(tmp_path / "best.npz")
+
+    model_c, config_c = fresh()
+    second_leg = TrainingRun(model_c, toy_dataset, config_c)
+    second_leg.restore(checkpoint)
+    result_c = second_leg.train()
+
+    assert result_c.best_epoch == result_a.best_epoch
+    for name, parameter in model_a.parameters().items():
+        assert np.array_equal(parameter.data, model_c.parameters()[name].data), name
+
+
+def test_restore_best_without_validation_warns_and_is_inert(toy_dataset, caplog):
+    model, config = _make("DistMult", toy_dataset, restore_best=True)
+    with caplog.at_level(logging.WARNING, logger="repro.training"):
+        result = TrainingRun(model, toy_dataset, config).train()
+    assert result.restored_best is False
+    assert any("restore_best" in message for message in caplog.messages)
+
+
 def test_resume_with_validation_state_continues_early_stopping(toy_dataset, tmp_path):
     """Early-stop bookkeeping (best MRR, staleness) survives the checkpoint."""
     model, config = _make(
