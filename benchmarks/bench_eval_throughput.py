@@ -37,6 +37,7 @@ import json
 import os
 import sys
 import time
+import tracemalloc
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -177,6 +178,50 @@ def measure_worker_sweep(
     }
 
 
+#: Fused block budget for the peak-memory comparison: ~66 rows of the base
+#: workload's 1500 entities per block, far below one full eval-batch matrix.
+MEMORY_FUSED_BUDGET = 100_000
+
+
+def _traced_peak_bytes(fn) -> Tuple[int, object]:
+    """Python-allocator peak while running ``fn`` (numpy buffers included)."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    result = fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, result
+
+
+def measure_peak_memory(seed: int = 29, dim: int = 64) -> dict:
+    """Peak allocation of fused vs materializing evaluation, ranks asserted
+    identical.  The materializing path holds a full ``(batch, |E|)`` float64
+    score matrix per side; the fused path streams ``score_block_budget``-sized
+    blocks and keeps only integer counts, so its peak must come in below."""
+    dataset = fb15k_shaped_dataset(seed)
+    model = make_model(
+        "DistMult", dataset.num_entities, dataset.num_relations, ModelConfig(dim=dim, seed=seed)
+    )
+    model.train_mode(False)
+    evaluator = LinkPredictionEvaluator(dataset)
+
+    evaluator.evaluate(model)  # warm caches so neither trace pays import costs
+    materializing_peak, reference = _traced_peak_bytes(lambda: evaluator.evaluate(model))
+    fused_peak, fused = _traced_peak_bytes(
+        lambda: evaluator.evaluate(model, score_block_budget=MEMORY_FUSED_BUDGET)
+    )
+    _assert_identical(reference, fused, "fused vs materializing (memory)")
+
+    return {
+        "entities": dataset.num_entities,
+        "test_triples": len(dataset.test),
+        "score_block_budget": MEMORY_FUSED_BUDGET,
+        "materializing_peak_bytes": materializing_peak,
+        "fused_peak_bytes": fused_peak,
+        "fused_peak_fraction": fused_peak / materializing_peak,
+    }
+
+
 def _speedup_at(sweep: dict, n_workers: int) -> Optional[float]:
     for entry in sweep["results"]:
         if entry["n_workers"] == n_workers:
@@ -189,6 +234,7 @@ def build_report() -> Tuple[dict, bool]:
     cpu_count = os.cpu_count() or 1
     throughput = measure_throughput()
     sweep = measure_worker_sweep()
+    memory = measure_peak_memory()
     gate_workers = max(WORKER_COUNTS)
 
     batched_gate = {
@@ -217,12 +263,20 @@ def build_report() -> Tuple[dict, bool]:
             if multiprocessing_available()
             else "platform has no multiprocessing start method"
         )
+    memory_gate = {
+        "name": "fused_peak_below_materializing",
+        "threshold": 1.0,
+        "value": memory["fused_peak_fraction"],
+        "enforced": True,
+        "passed": memory["fused_peak_fraction"] < 1.0,
+    }
     report = {
         "benchmark": "eval_throughput",
         "cpu_count": cpu_count,
         "batched_vs_per_triple": throughput,
         "worker_sweep": sweep,
-        "gates": [batched_gate, worker_gate],
+        "peak_memory": memory,
+        "gates": [batched_gate, worker_gate, memory_gate],
     }
     return report, all(gate["passed"] for gate in report["gates"])
 
@@ -238,6 +292,15 @@ def _print_report(report: dict) -> None:
             f"{entry['triples_per_second']:,.0f} triples/s "
             f"({entry['speedup_vs_single_worker']:.2f}x vs 1 worker)"
         )
+    print()
+    memory = report["peak_memory"]
+    print(
+        f"{'materializing peak':>32}: {memory['materializing_peak_bytes'] / 1e6:,.1f} MB"
+    )
+    print(
+        f"{'fused peak':>32}: {memory['fused_peak_bytes'] / 1e6:,.1f} MB "
+        f"({memory['fused_peak_fraction']:.2f}x, budget {memory['score_block_budget']})"
+    )
     print()
     for gate in report["gates"]:
         status = "PASS" if gate["passed"] else "FAIL"
@@ -278,6 +341,11 @@ def test_batched_evaluation_is_faster():
 def test_sharded_sweep_is_bit_identical():
     sweep = measure_worker_sweep(workers=(1, 2))
     assert _speedup_at(sweep, 2) is not None
+
+
+def test_fused_evaluation_peaks_below_materializing():
+    memory = measure_peak_memory()
+    assert memory["fused_peak_bytes"] < memory["materializing_peak_bytes"], memory
 
 
 if __name__ == "__main__":

@@ -193,6 +193,9 @@ def ensure_evaluation(store: ArtifactStore, config, model_name: str, dataset_nam
         eval_batch_size=config.eval_batch_size,
         n_workers=config.eval_workers,
         shard_size=config.eval_shard_size,
+        backend=getattr(config, "eval_backend", "numpy"),
+        eval_dtype=getattr(config, "eval_dtype", "fp64"),
+        score_block_budget=getattr(config, "score_block_budget", None),
     )
     result = evaluator.evaluate(
         ensure_scorer(store, config, model_name, dataset_name), model_name=model_name

@@ -59,6 +59,8 @@ LOSS_CHOICES: Tuple[str, ...] = (
     "default", "margin", "margin_ranking", "bce", "logistic", "self_adversarial", "rotate",
 )
 SAMPLER_CHOICES: Tuple[str, ...] = ("bernoulli", "uniform")
+BACKEND_CHOICES: Tuple[str, ...] = ("numpy", "cupy", "torch", "auto")
+EVAL_DTYPE_CHOICES: Tuple[str, ...] = ("fp64", "fp32", "fp16")
 
 
 # --------------------------------------------------------------------------- knob model
@@ -251,6 +253,12 @@ TRAINING = Section(
             "checkpoint_every", int, 0,
             "epochs between checkpoints (0 disables periodic saves)", minimum=0,
         ),
+        Knob(
+            "weight_decay", float, 0.0,
+            "L2 weight decay folded into the optimizer step (sparse runs touch "
+            "only the batch rows, so the per-step cost stays O(batch))",
+            minimum=0.0,
+        ),
     ),
 )
 
@@ -273,6 +281,25 @@ EVALUATION = Section(
             "shard_size", int, None,
             "queries per evaluation shard (default: one balanced shard per worker)",
             optional=True, minimum=1, flag="--eval-shard-size",
+        ),
+        Knob(
+            "backend", str, "numpy",
+            "array backend the batched score kernels compute on "
+            "('auto' picks the first available accelerator, falling back to numpy)",
+            choices=BACKEND_CHOICES, flag="--eval-backend",
+        ),
+        Knob(
+            "eval_dtype", str, "fp64",
+            "dtype of candidate scoring (fp64 = bit-identity reference; "
+            "fp32/fp16 trade precision for throughput and memory)",
+            choices=EVAL_DTYPE_CHOICES,
+        ),
+        Knob(
+            "score_block_budget", int, None,
+            "max elements of a resident score block; enables the fused "
+            "score+rank path, which never materializes the full (B, E) score "
+            "matrix (ranks are bit-identical at any budget)",
+            optional=True, minimum=1,
         ),
     ),
 )

@@ -136,6 +136,7 @@ class TrainingSpec:
     restore_best: bool = schema.TRAINING_DEFAULTS["restore_best"]
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = schema.TRAINING_DEFAULTS["checkpoint_every"]
+    weight_decay: float = schema.TRAINING_DEFAULTS["weight_decay"]
 
 
 @dataclass
@@ -143,6 +144,9 @@ class EvaluationSpec:
     batch_size: int = schema.EVALUATION_DEFAULTS["batch_size"]
     workers: int = schema.EVALUATION_DEFAULTS["workers"]
     shard_size: Optional[int] = None
+    backend: str = schema.EVALUATION_DEFAULTS["backend"]
+    eval_dtype: str = schema.EVALUATION_DEFAULTS["eval_dtype"]
+    score_block_budget: Optional[int] = None
 
 
 #: ExperimentSpec attribute name per schema section (identical by design).
@@ -337,9 +341,13 @@ def _experiment_config_kwargs(merged: Dict[str, Dict[str, Any]]) -> Dict[str, An
         restore_best=training["restore_best"],
         checkpoint_dir=training["checkpoint_dir"],
         checkpoint_every=training["checkpoint_every"],
+        weight_decay=training["weight_decay"],
         eval_batch_size=evaluation["batch_size"],
         eval_workers=evaluation["workers"],
         eval_shard_size=evaluation["shard_size"],
+        eval_backend=evaluation["backend"],
+        eval_dtype=evaluation["eval_dtype"],
+        score_block_budget=evaluation["score_block_budget"],
         ingest_chunk_size=ingest["chunk_size"],
         ingest_max_queue_chunks=ingest["max_queue_chunks"],
         audit_theta=audit["theta"],

@@ -26,6 +26,12 @@ Design notes
   pay the densification.
 * The graph is built eagerly per batch and freed after ``backward``; there is
   no tape reuse, which keeps the implementation small and predictable.
+* Primal and gradient arrays route through the process-wide *active backend*
+  (:func:`repro.backend.active_backend`).  The default is the numpy reference
+  backend, whose ``xp`` namespace **is** the numpy module — every expression
+  below is then byte-for-byte the seed implementation, so default-path results
+  stay bit-identical.  Host-side bookkeeping (shape math, axis permutations,
+  slice offsets) deliberately stays on numpy regardless of the carrier.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..backend import active_backend
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
@@ -78,8 +86,9 @@ class SparseGrad:
 
     def add(self, indices: np.ndarray, rows: np.ndarray) -> None:
         """Append one gather's ``(indices, rows)`` contribution."""
-        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-        rows = np.asarray(rows, dtype=np.float64).reshape(indices.size, *self.shape[1:])
+        backend = active_backend()
+        indices = backend.index_array(indices).reshape(-1)
+        rows = backend.asarray_float(rows).reshape(indices.size, *self.shape[1:])
         self._segments.append((indices, rows))
 
     def is_empty(self) -> bool:
@@ -97,7 +106,8 @@ class SparseGrad:
         """Sorted unique row indices with a pending contribution."""
         if not self._segments:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate([indices for indices, _ in self._segments]))
+        xp = active_backend().xp
+        return xp.unique(xp.concatenate([indices for indices, _ in self._segments]))
 
     def coalesce(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(unique_indices, rows)`` with duplicate contributions summed.
@@ -108,13 +118,15 @@ class SparseGrad:
         """
         if not self._segments:
             return np.empty(0, dtype=np.int64), np.empty((0, *self.shape[1:]))
-        all_indices = np.concatenate([indices for indices, _ in self._segments])
-        unique, inverse = np.unique(all_indices, return_inverse=True)
+        backend = active_backend()
+        xp = backend.xp
+        all_indices = xp.concatenate([indices for indices, _ in self._segments])
+        unique, inverse = xp.unique(all_indices, return_inverse=True)
         total: Optional[np.ndarray] = None
         offset = 0
         for indices, rows in self._segments:
-            segment = np.zeros((len(unique), *self.shape[1:]))
-            np.add.at(segment, inverse[offset:offset + len(indices)], rows)
+            segment = xp.zeros((len(unique), *self.shape[1:]))
+            backend.scatter_add(segment, inverse[offset:offset + len(indices)], rows)
             total = segment if total is None else total + segment
             offset += len(indices)
         assert total is not None
@@ -122,12 +134,14 @@ class SparseGrad:
 
     def to_dense(self) -> np.ndarray:
         """The full dense gradient (bitwise equal to the dense backward path)."""
+        backend = active_backend()
+        xp = backend.xp
         total: Optional[np.ndarray] = None
         for indices, rows in self._segments:
-            full = np.zeros(self.shape)
-            np.add.at(full, indices, rows)
+            full = xp.zeros(self.shape)
+            backend.scatter_add(full, indices, rows)
             total = full if total is None else total + full
-        return total if total is not None else np.zeros(self.shape)
+        return total if total is not None else xp.zeros(self.shape)
 
     def clear(self) -> None:
         self._segments = []
@@ -152,7 +166,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = active_backend().asarray_float(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -221,7 +235,7 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = active_backend().asarray_float(grad)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -232,7 +246,7 @@ class Tensor:
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
         if grad is None:
-            grad = np.ones_like(self.data)
+            grad = active_backend().xp.ones_like(self.data)
         # Topological order via iterative DFS.
         order: List[Tensor] = []
         visited: set[int] = set()
@@ -346,7 +360,7 @@ class Tensor:
 
     # -- element-wise functions --------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = active_backend().xp.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -355,7 +369,7 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        data = active_backend().xp.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -367,16 +381,18 @@ class Tensor:
         return self ** 0.5
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
+        xp = active_backend().xp
+        data = xp.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * np.sign(self.data))
+                self._accumulate(grad * xp.sign(self.data))
 
         return self._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        xp = active_backend().xp
+        data = 1.0 / (1.0 + xp.exp(-xp.clip(self.data, -60.0, 60.0)))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -385,25 +401,27 @@ class Tensor:
         return self._make(data, (self,), backward)
 
     def cos(self) -> "Tensor":
-        data = np.cos(self.data)
+        xp = active_backend().xp
+        data = xp.cos(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad * np.sin(self.data))
+                self._accumulate(-grad * xp.sin(self.data))
 
         return self._make(data, (self,), backward)
 
     def sin(self) -> "Tensor":
-        data = np.sin(self.data)
+        xp = active_backend().xp
+        data = xp.sin(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * np.cos(self.data))
+                self._accumulate(grad * xp.cos(self.data))
 
         return self._make(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        data = active_backend().xp.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -423,18 +441,19 @@ class Tensor:
 
     def softplus(self) -> "Tensor":
         """Numerically stable log(1 + exp(x))."""
-        data = np.logaddexp(0.0, self.data)
+        xp = active_backend().xp
+        data = xp.logaddexp(0.0, self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+                sig = 1.0 / (1.0 + xp.exp(-xp.clip(self.data, -60.0, 60.0)))
                 self._accumulate(grad * sig)
 
         return self._make(data, (self,), backward)
 
     def clamp_min(self, minimum: float) -> "Tensor":
         mask = self.data > minimum
-        data = np.maximum(self.data, minimum)
+        data = active_backend().xp.maximum(self.data, minimum)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -449,10 +468,11 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
+            xp = active_backend().xp
             expanded = grad
             if axis is not None and not keepdims:
-                expanded = np.expand_dims(grad, axis=axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+                expanded = xp.expand_dims(grad, axis=axis)
+            self._accumulate(xp.broadcast_to(expanded, self.shape).copy())
 
         return self._make(data, (self,), backward)
 
@@ -468,11 +488,12 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            expanded = grad if keepdims else np.expand_dims(grad, axis=axis)
+            xp = active_backend().xp
+            expanded = grad if keepdims else xp.expand_dims(grad, axis=axis)
             maxima = self.data.max(axis=axis, keepdims=True)
             mask = self.data == maxima
             counts = mask.sum(axis=axis, keepdims=True)
-            self._accumulate(np.broadcast_to(expanded, self.shape) * mask / counts)
+            self._accumulate(xp.broadcast_to(expanded, self.shape) * mask / counts)
 
         return self._make(data, (self,), backward)
 
@@ -513,8 +534,9 @@ class Tensor:
         the parameter's :class:`SparseGrad` instead of materializing a dense
         scatter, keeping the step cost proportional to the batch.
         """
-        indices = np.asarray(indices, dtype=np.int64)
-        data = self.data[indices]
+        backend = active_backend()
+        indices = backend.index_array(indices)
+        data = backend.take_rows(self.data, indices)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -523,15 +545,15 @@ class Tensor:
             if sink is not None:
                 sink.add(indices, grad)
                 return
-            full = np.zeros_like(self.data)
-            np.add.at(full, indices, grad)
+            full = backend.xp.zeros_like(self.data)
+            backend.scatter_add(full, indices, grad)
             self._accumulate(full)
 
         return self._make(data, (self,), backward)
 
     def concat(self, others: Iterable["Tensor"], axis: int = -1) -> "Tensor":
         tensors = [self, *[Tensor.ensure(o) for o in others]]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
+        data = active_backend().xp.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0, *sizes])
 
@@ -549,7 +571,9 @@ class Tensor:
         if not training or rate <= 0.0:
             return self
         keep = 1.0 - rate
-        mask = (rng.random(self.shape) < keep) / keep
+        # The mask is drawn on the host RNG (bit-identical across carriers)
+        # and then moved onto the active backend.
+        mask = active_backend().asarray_float((rng.random(self.shape) < keep) / keep)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -1,0 +1,83 @@
+"""Reference numpy backend: the bit-identity baseline for every other carrier."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import ArrayBackend, numpy_dtype
+
+
+class NumpyBackend(ArrayBackend):
+    """Host numpy arrays; every operation is the seed implementation verbatim."""
+
+    name = "numpy"
+    supports_autodiff = True
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return True
+
+    @property
+    def xp(self) -> Any:
+        return np
+
+    def dtype(self, spec: str) -> np.dtype:
+        return numpy_dtype(spec)
+
+    def asarray(self, data: Any, spec: Optional[str] = None) -> np.ndarray:
+        if spec is None:
+            return np.asarray(data)
+        return np.asarray(data, dtype=numpy_dtype(spec))
+
+    def asarray_float(self, data: Any) -> np.ndarray:
+        return np.asarray(data, dtype=np.float64)
+
+    def from_numpy(self, array: np.ndarray, spec: Optional[str] = None) -> np.ndarray:
+        return self.asarray(array, spec)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return np.asarray(array)
+
+    def cast(self, array: Any, spec: str) -> np.ndarray:
+        return np.asarray(array, dtype=numpy_dtype(spec))
+
+    def zeros(self, shape: Any, spec: str = "fp64") -> np.ndarray:
+        return np.zeros(shape, dtype=numpy_dtype(spec))
+
+    def empty(self, shape: Any, spec: str = "fp64") -> np.ndarray:
+        return np.empty(shape, dtype=numpy_dtype(spec))
+
+    def arange(self, n: int) -> np.ndarray:
+        return np.arange(n, dtype=np.int64)
+
+    def index_array(self, indices: Any) -> np.ndarray:
+        return np.asarray(indices, dtype=np.int64)
+
+    def take_rows(self, table: np.ndarray, indices: Any) -> np.ndarray:
+        return table[indices]
+
+    def scatter_add(self, target: np.ndarray, indices: Any, updates: Any) -> None:
+        np.add.at(target, indices, updates)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def einsum(self, spec: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(spec, *operands)
+
+    def compare_counts(
+        self, scores: np.ndarray, thresholds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        greater = (scores[None, :] > thresholds[:, None]).sum(axis=1)
+        equal = (scores[None, :] == thresholds[:, None]).sum(axis=1)
+        return greater, equal
+
+    def as_strided(
+        self, array: np.ndarray, shape: Sequence[int], strides: Sequence[int]
+    ) -> np.ndarray:
+        return np.lib.stride_tricks.as_strided(array, shape=shape, strides=strides)
+
+    def ascontiguous(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array)

@@ -511,6 +511,9 @@ def command_train(args: argparse.Namespace) -> int:
         eval_batch_size=config.eval_batch_size,
         n_workers=config.eval_workers,
         shard_size=config.eval_shard_size,
+        backend=config.eval_backend,
+        eval_dtype=config.eval_dtype,
+        score_block_budget=config.score_block_budget,
     )
     print(render_table([evaluation.as_row()], title="Link prediction"))
     return 0

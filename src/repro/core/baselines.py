@@ -23,6 +23,7 @@ from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
+from ..backend import ScoreComputeMixin
 from ..kg.triples import TripleSet
 from .redundancy import build_pair_index, build_pair_sets, overlap_counts
 
@@ -41,7 +42,7 @@ class SimpleRulePair:
 
 
 @dataclass
-class SimpleRuleModel:
+class SimpleRuleModel(ScoreComputeMixin):
     """The statistics-derived rule baseline of Sections 1 and 4.2.1."""
 
     train: TripleSet
@@ -148,7 +149,7 @@ class SimpleRuleModel:
             predictions = self.predicted_tails(int(head), int(relation))
             if predictions:
                 scores[row, list(predictions)] = 1.0
-        return scores
+        return self.score_compute.export(scores)
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
@@ -158,7 +159,7 @@ class SimpleRuleModel:
             predictions = self.predicted_heads(int(relation), int(tail))
             if predictions:
                 scores[row, list(predictions)] = 1.0
-        return scores
+        return self.score_compute.export(scores)
 
     @property
     def name(self) -> str:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..backend import ScoreComputeMixin
 from ..kg.triples import TripleSet
 
 #: The paper's density threshold for calling a relation a Cartesian product.
@@ -106,7 +107,7 @@ def find_cartesian_relations(
     return found
 
 
-class CartesianProductPredictor:
+class CartesianProductPredictor(ScoreComputeMixin):
     """The paper's simple predictor exploiting the Cartesian product property.
 
     For a relation detected as a Cartesian product over the training set, the
@@ -187,7 +188,7 @@ class CartesianProductPredictor:
             if row is None:
                 rows[relation] = row = self._relation_row(relation, side)
             scores[index] = row
-        return scores
+        return self.score_compute.export(scores)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
         return self._score_batch(relations, "tail")

@@ -17,6 +17,7 @@ from .ranking import (
 )
 from .sharding import (
     evaluate_shards,
+    fused_rank_row,
     multiprocessing_available,
     plan_shards,
     rank_shard,
@@ -42,6 +43,7 @@ __all__ = [
     "LinkPredictionEvaluator",
     "evaluate_model",
     "evaluate_shards",
+    "fused_rank_row",
     "multiprocessing_available",
     "plan_shards",
     "rank_shard",

@@ -62,6 +62,10 @@ from .sharding import ShardEntry, evaluate_shards, rank_shard
 #: value lives in the knob schema (``evaluation.batch_size``).
 DEFAULT_EVAL_BATCH_SIZE = EVALUATION_DEFAULTS["batch_size"]
 
+#: Sentinel distinguishing "use the evaluator-level knob" from an explicit
+#: ``None`` (= disable the fused path) in :meth:`LinkPredictionEvaluator.evaluate`.
+_UNSET = object()
+
 
 class CandidateScorer(Protocol):
     """What the evaluator needs from a model (embedding, rule-based or baseline).
@@ -176,6 +180,9 @@ class LinkPredictionEvaluator:
         n_workers: int = 1,
         shard_size: Optional[int] = None,
         mp_start_method: Optional[str] = None,
+        backend: str = "numpy",
+        eval_dtype: str = "fp64",
+        score_block_budget: Optional[int] = None,
     ) -> None:
         self.dataset = dataset
         self.eval_batch_size = max(1, int(eval_batch_size))
@@ -186,6 +193,16 @@ class LinkPredictionEvaluator:
         self.shard_size = None if shard_size is None else max(1, int(shard_size))
         #: Multiprocessing start method override (``None`` = platform best).
         self.mp_start_method = mp_start_method
+        #: Array backend + dtype the scorer's batched kernels compute on; the
+        #: defaults are the bit-identity reference configuration.  Applied to
+        #: scorers exposing ``set_score_backend`` at ``evaluate()`` time.
+        self.backend = str(backend)
+        self.eval_dtype = str(eval_dtype)
+        #: Max elements of a resident score block; a value enables the fused
+        #: score+rank path (never materializes the (B, E) host matrix).
+        self.score_block_budget = (
+            None if score_block_budget is None else max(1, int(score_block_budget))
+        )
         known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
         if extra_ground_truth is not None:
             known |= extra_ground_truth.as_set()
@@ -206,6 +223,19 @@ class LinkPredictionEvaluator:
         }
 
     # -- batched ranking internals ----------------------------------------------------
+    def _configure_scorer(self, scorer: CandidateScorer) -> None:
+        """Apply the evaluator's backend/dtype selection to the scorer.
+
+        Only a non-default selection is pushed, so scorers configured directly
+        through ``set_score_backend`` keep their configuration under a default
+        evaluator, and scorers without the knob are left untouched.
+        """
+        if self.backend == "numpy" and self.eval_dtype == "fp64":
+            return
+        configure = getattr(scorer, "set_score_backend", None)
+        if configure is not None:
+            configure(self.backend, self.eval_dtype)
+
     def _side_work(
         self, triples: Sequence[Triple], side: str
     ) -> Tuple[List[ShardEntry], List[List[int]]]:
@@ -270,24 +300,34 @@ class LinkPredictionEvaluator:
         eval_batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        score_block_budget: object = _UNSET,
     ) -> EvaluationResult:
         """Rank every test triple on the requested sides.
 
         ``batched=False`` selects the per-triple reference protocol (one
         scoring call and one mask copy per triple) kept for regression tests
-        and throughput comparisons.  ``n_workers`` / ``shard_size`` override
-        the evaluator-level sharding knobs for this run; ``n_workers >= 2``
-        shards the unique-query order across worker processes with a
-        deterministic merge (bit-identical ranks at any worker count).
+        and throughput comparisons.  ``n_workers`` / ``shard_size`` /
+        ``score_block_budget`` override the evaluator-level knobs for this
+        run; ``n_workers >= 2`` shards the unique-query order across worker
+        processes with a deterministic merge (bit-identical ranks at any
+        worker count), and a ``score_block_budget`` enables the fused
+        score+rank path (bit-identical ranks at any budget).
         """
         triples = list(test_triples) if test_triples is not None else list(self.dataset.test)
         name = model_name or getattr(scorer, "name", type(scorer).__name__)
         result = EvaluationResult(model_name=name, dataset_name=self.dataset.name)
+        self._configure_scorer(scorer)
         if not batched:
             return self._evaluate_per_triple(scorer, triples, result, sides)
         batch_size = self.eval_batch_size if eval_batch_size is None else max(1, int(eval_batch_size))
         workers = self.n_workers if n_workers is None else max(1, int(n_workers))
         shards = self.shard_size if shard_size is None else max(1, int(shard_size))
+        if score_block_budget is _UNSET:
+            block_budget = self.score_block_budget
+        else:
+            block_budget = (
+                None if score_block_budget is None else max(1, int(score_block_budget))  # type: ignore[arg-type]
+            )
         work: Dict[str, List[ShardEntry]] = {}
         positions: Dict[str, List[List[int]]] = {}
         for side in ("tail", "head"):
@@ -296,11 +336,12 @@ class LinkPredictionEvaluator:
         known = {"tail": self._known_tails, "head": self._known_heads}
         if workers > 1:
             side_ranks = evaluate_shards(
-                scorer, work, known, workers, shards, batch_size, self.mp_start_method
+                scorer, work, known, workers, shards, batch_size,
+                self.mp_start_method, block_budget,
             )
         else:
             side_ranks = {
-                side: rank_shard(scorer, entries, side, known[side], batch_size)
+                side: rank_shard(scorer, entries, side, known[side], batch_size, block_budget)
                 for side, entries in work.items()
             }
         scattered = {
@@ -363,6 +404,9 @@ def evaluate_model(
     eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
     n_workers: int = 1,
     shard_size: Optional[int] = None,
+    backend: str = "numpy",
+    eval_dtype: str = "fp64",
+    score_block_budget: Optional[int] = None,
 ) -> EvaluationResult:
     """Convenience wrapper constructing the evaluator with default filtering."""
     evaluator = LinkPredictionEvaluator(
@@ -371,5 +415,8 @@ def evaluate_model(
         eval_batch_size=eval_batch_size,
         n_workers=n_workers,
         shard_size=shard_size,
+        backend=backend,
+        eval_dtype=eval_dtype,
+        score_block_budget=score_block_budget,
     )
     return evaluator.evaluate(scorer, test_triples=test_triples, model_name=model_name)

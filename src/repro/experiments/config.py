@@ -99,6 +99,14 @@ class ExperimentConfig:
     eval_workers: int = EVALUATION_DEFAULTS["workers"]
     #: Queries per evaluation shard (``None`` = one balanced shard per worker).
     eval_shard_size: Optional[int] = EVALUATION_DEFAULTS["shard_size"]
+    #: Array backend the batched score kernels compute on ("auto" picks the
+    #: first available accelerator, falling back to numpy).
+    eval_backend: str = EVALUATION_DEFAULTS["backend"]
+    #: Candidate-scoring dtype (fp64 = bit-identity reference).
+    eval_dtype: str = EVALUATION_DEFAULTS["eval_dtype"]
+    #: Max elements of a resident score block (``None`` = materialize; a value
+    #: enables the fused score+rank path, bit-identical at any budget).
+    score_block_budget: Optional[int] = EVALUATION_DEFAULTS["score_block_budget"]
     #: Labelled triples per chunk of the streaming TSV ingestion pipeline
     #: (:meth:`Workbench.ingest`).
     ingest_chunk_size: int = INGEST_DEFAULTS["chunk_size"]
@@ -121,6 +129,9 @@ class ExperimentConfig:
     checkpoint_dir: Optional[str] = TRAINING_DEFAULTS["checkpoint_dir"]
     #: Epochs between checkpoints (0 disables periodic saves).
     checkpoint_every: int = TRAINING_DEFAULTS["checkpoint_every"]
+    #: L2 weight decay folded into the optimizer step (sparse runs touch only
+    #: the batch rows, keeping regularized training O(batch) per step).
+    weight_decay: float = TRAINING_DEFAULTS["weight_decay"]
     models: Tuple[str, ...] = tuple(CORE_MODELS)
     include_amie: bool = True
     #: Overlap / density threshold of the Section 4 redundancy audit.
@@ -155,6 +166,7 @@ class ExperimentConfig:
             validation_workers=self.eval_workers,
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_every=self.checkpoint_every,
+            weight_decay=self.weight_decay,
         )
 
 

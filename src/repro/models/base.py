@@ -15,10 +15,14 @@ special-case a model:
   brute-force fallback (one ``score_triples_np`` sweep per query) so
   third-party scorers that only implement the single-triple contract keep
   working.
-* ``score_all_tails(h, r)`` / ``score_all_heads(r, t)`` — the legacy
-  single-query vectors, kept on the original brute-force ``score_triples``
-  sweep so the per-triple reference protocol retains the seed scoring
-  semantics the batched kernels are regression-tested against.
+* ``score_all_tails(h, r)`` / ``score_all_heads(r, t)`` — single-query score
+  vectors.  When a subclass ships a vectorized batched kernel these delegate
+  to it as a one-row batch (so per-query callers never pay the brute-force
+  sweep twice); only scorers implementing nothing but the single-triple
+  contract fall back to the original ``score_triples`` sweep.
+* ``set_score_backend(backend, eval_dtype)`` — selects the array backend and
+  dtype the batched kernels compute on (:mod:`repro.backend`); the default
+  numpy/fp64 configuration is bit-identical to the seed implementation.
 * ``parameters()`` — the trainable :class:`~repro.autodiff.tensor.Parameter`
   objects for the optimizer.
 """
@@ -32,6 +36,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..autodiff import Parameter, Tensor
+from ..backend import ScoreComputeMixin
 
 
 @dataclass
@@ -64,7 +69,7 @@ def iter_row_slices(batch: int, row_elements: int, budget: int = 2_000_000) -> "
     return [slice(start, start + step) for start in range(0, batch, step)]
 
 
-class KGEModel(ABC):
+class KGEModel(ScoreComputeMixin, ABC):
     """Abstract base of all embedding models.
 
     Sub-classes register their trainable tensors through
@@ -111,9 +116,11 @@ class KGEModel(ABC):
         """
         for parameter in self._parameters.values():
             parameter.zero_grad()
+        self.invalidate_score_tables()
 
     def train_mode(self, enabled: bool = True) -> None:
         self.training = enabled
+        self.invalidate_score_tables()
 
     # -- initialization helpers -----------------------------------------------
     def uniform_init(self, *shape: int, scale: Optional[float] = None) -> np.ndarray:
@@ -136,56 +143,72 @@ class KGEModel(ABC):
         """Plain-numpy scores (no gradient bookkeeping kept by the caller)."""
         return self.score_triples(np.asarray(heads), np.asarray(relations), np.asarray(tails)).data
 
+    def _overrides(self, method_name: str) -> bool:
+        """True when this subclass replaced the base implementation."""
+        return getattr(type(self), method_name) is not getattr(KGEModel, method_name)
+
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
         """Scores of ``(h_i, r_i, t)`` for every entity ``t`` — shape ``(B, E)``.
 
-        The default implementation runs one brute-force ``score_triples_np``
-        sweep per query; subclasses override it with vectorized kernels.
+        Subclasses override this with vectorized kernels.  The default prefers
+        an overridden :meth:`score_all_tails` (one tuned sweep per query) and
+        only falls back to brute-force ``score_triples_np`` sweeps for scorers
+        that implement nothing but the single-triple contract.
         """
         heads = np.asarray(heads, dtype=np.int64).reshape(-1)
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
-        candidates = np.arange(self.num_entities)
-        rows = [
-            self.score_triples_np(
-                np.full(self.num_entities, h, dtype=np.int64),
-                np.full(self.num_entities, r, dtype=np.int64),
-                candidates,
-            )
-            for h, r in zip(heads, relations)
-        ]
+        if self._overrides("score_all_tails"):
+            rows = [self.score_all_tails(int(h), int(r)) for h, r in zip(heads, relations)]
+        else:
+            candidates = np.arange(self.num_entities)
+            rows = [
+                self.score_triples_np(
+                    np.full(self.num_entities, h, dtype=np.int64),
+                    np.full(self.num_entities, r, dtype=np.int64),
+                    candidates,
+                )
+                for h, r in zip(heads, relations)
+            ]
         if not rows:
-            return np.empty((0, self.num_entities))
-        return np.stack(rows)
+            return self.score_compute.export(np.empty((0, self.num_entities)))
+        return self.score_compute.export(np.stack(rows))
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
         """Scores of ``(h, r_i, t_i)`` for every entity ``h`` — shape ``(B, E)``.
 
-        The default implementation runs one brute-force ``score_triples_np``
-        sweep per query; subclasses override it with vectorized kernels.
+        Same delegation policy as :meth:`score_tails_batch`, for the head side.
         """
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         tails = np.asarray(tails, dtype=np.int64).reshape(-1)
-        candidates = np.arange(self.num_entities)
-        rows = [
-            self.score_triples_np(
-                candidates,
-                np.full(self.num_entities, r, dtype=np.int64),
-                np.full(self.num_entities, t, dtype=np.int64),
-            )
-            for r, t in zip(relations, tails)
-        ]
+        if self._overrides("score_all_heads"):
+            rows = [self.score_all_heads(int(r), int(t)) for r, t in zip(relations, tails)]
+        else:
+            candidates = np.arange(self.num_entities)
+            rows = [
+                self.score_triples_np(
+                    candidates,
+                    np.full(self.num_entities, r, dtype=np.int64),
+                    np.full(self.num_entities, t, dtype=np.int64),
+                )
+                for r, t in zip(relations, tails)
+            ]
         if not rows:
-            return np.empty((0, self.num_entities))
-        return np.stack(rows)
+            return self.score_compute.export(np.empty((0, self.num_entities)))
+        return self.score_compute.export(np.stack(rows))
 
     def score_all_tails(self, head: int, relation: int) -> np.ndarray:
         """Scores of ``(head, relation, t)`` for every entity ``t``.
 
-        Kept as the original brute-force ``score_triples_np`` sweep so the
-        per-triple reference protocol (``evaluate(..., batched=False)``)
-        preserves the seed scoring semantics exactly; the batched kernels are
-        validated against it by the equivalence regression tests.
+        Delegates to an overridden :meth:`score_tails_batch` as a one-row
+        batch, so per-query callers of a model with a vectorized kernel never
+        pay the brute-force sweep.  Scorers without a batched kernel keep the
+        original ``score_triples_np`` sweep.
         """
+        if self._overrides("score_tails_batch"):
+            row = self.score_tails_batch(
+                np.array([head], dtype=np.int64), np.array([relation], dtype=np.int64)
+            )
+            return np.asarray(self.score_compute.as_numpy(row), dtype=np.float64)[0]
         candidates = np.arange(self.num_entities)
         heads = np.full(self.num_entities, head, dtype=np.int64)
         relations = np.full(self.num_entities, relation, dtype=np.int64)
@@ -194,9 +217,13 @@ class KGEModel(ABC):
     def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
         """Scores of ``(h, relation, tail)`` for every entity ``h``.
 
-        Kept as the original brute-force ``score_triples_np`` sweep; see
-        :meth:`score_all_tails`.
+        Same delegation policy as :meth:`score_all_tails`, for the head side.
         """
+        if self._overrides("score_heads_batch"):
+            row = self.score_heads_batch(
+                np.array([relation], dtype=np.int64), np.array([tail], dtype=np.int64)
+            )
+            return np.asarray(self.score_compute.as_numpy(row), dtype=np.float64)[0]
         candidates = np.arange(self.num_entities)
         relations = np.full(self.num_entities, relation, dtype=np.int64)
         tails = np.full(self.num_entities, tail, dtype=np.int64)

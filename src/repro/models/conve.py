@@ -123,17 +123,26 @@ class ConvE(KGEModel):
         return self.entity.data @ hidden + self.entity_bias.data
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        """1-N scoring: one hidden vector per query, matched against every entity."""
-        hidden = self._hidden_np(heads, relations)                        # (B, d)
-        return hidden @ self.entity.data.T + self.entity_bias.data[None, :]
+        """1-N scoring: one hidden vector per query, matched against every entity.
+
+        The convolutional hidden vectors are computed on the host autodiff
+        path; only the large entity matmul runs on the configured score
+        backend.
+        """
+        ec = self.score_compute
+        hidden = ec.array(self._hidden_np(heads, relations))              # (B, d)
+        return hidden @ ec.table(self.entity).T + ec.table(self.entity_bias)[None, :]
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
         """Head scoring groups queries by relation: the expensive convolution
         over all candidate heads runs once per distinct relation and is reused
         by every query sharing it."""
+        ec = self.score_compute
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         tails = np.asarray(tails, dtype=np.int64).reshape(-1)
-        scores = np.empty((len(relations), self.num_entities))
+        entities = ec.table(self.entity)
+        entity_bias = ec.table(self.entity_bias)
+        scores = ec.empty((len(relations), self.num_entities))
         candidates = np.arange(self.num_entities)
         for relation in np.unique(relations):
             rows = np.nonzero(relations == relation)[0]
@@ -143,13 +152,15 @@ class ConvE(KGEModel):
                 # Sweep the candidate heads in slices: the convolution
                 # temporaries scale with flat_size per candidate, so an
                 # unchunked all-entity pass would defeat the evaluator's
-                # memory bounding.
+                # memory bounding.  The cache stays host-side (fp64) so it is
+                # valid across backend reconfigurations.
                 hidden = np.empty((self.num_entities, self.config.dim))
                 for candidate_rows in iter_row_slices(self.num_entities, self.flat_size):
                     chunk = candidates[candidate_rows]
                     hidden[candidate_rows] = self._hidden_np(chunk, np.full(len(chunk), relation))
                 self._head_hidden_cache = (int(relation), hidden)
-            t = self.entity.data[tails[rows]]                             # (k, d)
-            bias = self.entity_bias.data[tails[rows]]                     # (k,)
-            scores[rows] = t @ hidden.T + bias[:, None]
+            query_tails = ec.index(tails[rows])
+            t = entities[query_tails]                                     # (k, d)
+            bias = entity_bias[query_tails]                               # (k,)
+            scores[ec.index(rows)] = t @ ec.array(hidden).T + bias[:, None]
         return scores

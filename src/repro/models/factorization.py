@@ -36,16 +36,20 @@ class RESCAL(KGEModel):
         return (h @ w_r @ t).reshape(len(heads))
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]            # (B, d)
-        w_r = self.relation.data[np.asarray(relations, dtype=np.int64)]    # (B, d, d)
-        query = np.einsum("bd,bdk->bk", h, w_r)                            # h^T W_r
-        return query @ self.entity.data.T
+        ec = self.score_compute
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]                                      # (B, d)
+        w_r = ec.table(self.relation)[ec.index(relations)]                 # (B, d, d)
+        query = ec.xp.einsum("bd,bdk->bk", h, w_r)                         # h^T W_r
+        return query @ entities.T
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        w_r = self.relation.data[np.asarray(relations, dtype=np.int64)]
-        query = np.einsum("bdk,bk->bd", w_r, t)                            # W_r t
-        return query @ self.entity.data.T
+        ec = self.score_compute
+        entities = ec.table(self.entity)
+        t = entities[ec.index(tails)]
+        w_r = ec.table(self.relation)[ec.index(relations)]
+        query = ec.xp.einsum("bdk,bk->bd", w_r, t)                         # W_r t
+        return query @ entities.T
 
 
 class DistMult(KGEModel):
@@ -70,14 +74,18 @@ class DistMult(KGEModel):
         return (h * r * t).sum(axis=-1)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
-        return (h * r) @ self.entity.data.T
+        ec = self.score_compute
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]
+        r = ec.table(self.relation)[ec.index(relations)]
+        return (h * r) @ entities.T
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        return (r * t) @ self.entity.data.T
+        ec = self.score_compute
+        entities = ec.table(self.entity)
+        r = ec.table(self.relation)[ec.index(relations)]
+        t = entities[ec.index(tails)]
+        return (r * t) @ entities.T
 
 
 class ComplEx(KGEModel):
@@ -113,29 +121,35 @@ class ComplEx(KGEModel):
         return score
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        heads = np.asarray(heads, dtype=np.int64)
-        relations = np.asarray(relations, dtype=np.int64)
-        h_re = self.entity_re.data[heads]
-        h_im = self.entity_im.data[heads]
-        r_re = self.relation_re.data[relations]
-        r_im = self.relation_im.data[relations]
+        ec = self.score_compute
+        heads = ec.index(heads)
+        relations = ec.index(relations)
+        entities_re = ec.table(self.entity_re)
+        entities_im = ec.table(self.entity_im)
+        h_re = entities_re[heads]
+        h_im = entities_im[heads]
+        r_re = ec.table(self.relation_re)[relations]
+        r_im = ec.table(self.relation_im)[relations]
         # Re(<h, w_r, conj(t)>) grouped by the tail factors: the real part of
         # the candidate multiplies (h_re r_re - h_im r_im), the imaginary part
         # multiplies (h_im r_re + h_re r_im).
         query_re = h_re * r_re - h_im * r_im
         query_im = h_im * r_re + h_re * r_im
-        return query_re @ self.entity_re.data.T + query_im @ self.entity_im.data.T
+        return query_re @ entities_re.T + query_im @ entities_im.T
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        tails = np.asarray(tails, dtype=np.int64)
-        t_re = self.entity_re.data[tails]
-        t_im = self.entity_im.data[tails]
-        r_re = self.relation_re.data[relations]
-        r_im = self.relation_im.data[relations]
+        ec = self.score_compute
+        relations = ec.index(relations)
+        tails = ec.index(tails)
+        entities_re = ec.table(self.entity_re)
+        entities_im = ec.table(self.entity_im)
+        t_re = entities_re[tails]
+        t_im = entities_im[tails]
+        r_re = ec.table(self.relation_re)[relations]
+        r_im = ec.table(self.relation_im)[relations]
         query_re = r_re * t_re + r_im * t_im
         query_im = r_re * t_im - r_im * t_re
-        return query_re @ self.entity_re.data.T + query_im @ self.entity_im.data.T
+        return query_re @ entities_re.T + query_im @ entities_im.T
 
 
 class TuckER(KGEModel):
@@ -174,15 +188,21 @@ class TuckER(KGEModel):
         return (hwr * t).sum(axis=-1)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]            # (B, d_e)
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]      # (B, d_r)
-        hw = np.einsum("bi,ijk->bjk", h, self.core.data)                   # W ×₁ h
-        query = np.einsum("bj,bjk->bk", r, hw)                             # ×₂ w_r
-        return query @ self.entity.data.T
+        ec = self.score_compute
+        xp = ec.xp
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]                                      # (B, d_e)
+        r = ec.table(self.relation)[ec.index(relations)]                   # (B, d_r)
+        hw = xp.einsum("bi,ijk->bjk", h, ec.table(self.core))              # W ×₁ h
+        query = xp.einsum("bj,bjk->bk", r, hw)                             # ×₂ w_r
+        return query @ entities.T
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        wt = np.einsum("ijk,bk->bij", self.core.data, t)                   # W ×₃ t
-        query = np.einsum("bij,bj->bi", wt, r)                             # ×₂ w_r
-        return query @ self.entity.data.T
+        ec = self.score_compute
+        xp = ec.xp
+        entities = ec.table(self.entity)
+        r = ec.table(self.relation)[ec.index(relations)]
+        t = entities[ec.index(tails)]
+        wt = xp.einsum("ijk,bk->bij", ec.table(self.core), t)              # W ×₃ t
+        query = xp.einsum("bij,bj->bi", wt, r)                             # ×₂ w_r
+        return query @ entities.T

@@ -25,6 +25,13 @@ rows than the budget, the gradient is densified and applied as an all-rows
 sparse update (for Adam this advances every row's lazy step count, which is
 exactly the dense schedule).
 
+``weight_decay`` folds an L2 penalty gradient (``wd * parameter``) into
+whichever gradient path is active *before* the update rule runs.  On the
+sparse path only the batch rows pay the decay, so regularized sparse training
+keeps its O(batch) per-step cost — the same lazy-regularization trade-off as
+the per-row Adam state.  When every row is touched, the sparse decayed update
+is bit-identical to the dense one.
+
 ``state_dict()`` / ``load_state_dict()`` expose the optimizer state as flat
 numpy arrays so the trainer can checkpoint and resume bit-identically —
 including Adam's global ``_step_count`` and per-row lazy step counts.
@@ -52,12 +59,16 @@ class Optimizer:
         parameters: Dict[str, Parameter],
         learning_rate: float = 0.01,
         row_budget: Optional[int] = None,
+        weight_decay: float = 0.0,
     ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
         self.parameters = dict(parameters)
         self.learning_rate = float(learning_rate)
         self.row_budget = None if row_budget is None else max(1, int(row_budget))
+        self.weight_decay = float(weight_decay)
         self._row_bounded_step = True
 
     def zero_grad(self) -> None:
@@ -86,8 +97,18 @@ class Optimizer:
         for name, parameter in self.parameters.items():
             pending = self._pending_sparse(parameter)
             if pending is not None:
-                self._update_sparse(name, parameter, *pending)
+                indices, rows = pending
+                if self.weight_decay:
+                    # L2 decay folded into the gradient rows: only the batch
+                    # rows pay it, keeping regularized sparse steps O(batch)
+                    # (the standard decoupling of sparse embedding systems).
+                    rows = rows + self.weight_decay * parameter.data[indices]
+                self._update_sparse(name, parameter, indices, rows)
             elif parameter.grad is not None:
+                if self.weight_decay:
+                    parameter.dense_grad = (
+                        parameter.grad + self.weight_decay * parameter.data
+                    )
                 self._update(name, parameter)
                 self._row_bounded_step &= self.dense_update_is_row_bounded
         return self._row_bounded_step
@@ -163,8 +184,9 @@ class Adagrad(Optimizer):
         learning_rate: float = 0.1,
         epsilon: float = 1e-10,
         row_budget: Optional[int] = None,
+        weight_decay: float = 0.0,
     ) -> None:
-        super().__init__(parameters, learning_rate, row_budget=row_budget)
+        super().__init__(parameters, learning_rate, row_budget=row_budget, weight_decay=weight_decay)
         self.epsilon = epsilon
         self._accumulators = {name: np.zeros_like(p.data) for name, p in self.parameters.items()}
 
@@ -220,8 +242,9 @@ class Adam(Optimizer):
         beta2: float = 0.999,
         epsilon: float = 1e-8,
         row_budget: Optional[int] = None,
+        weight_decay: float = 0.0,
     ) -> None:
-        super().__init__(parameters, learning_rate, row_budget=row_budget)
+        super().__init__(parameters, learning_rate, row_budget=row_budget, weight_decay=weight_decay)
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
@@ -305,13 +328,14 @@ def make_optimizer(
     parameters: Dict[str, Parameter],
     learning_rate: float,
     row_budget: Optional[int] = None,
+    weight_decay: float = 0.0,
 ) -> Optimizer:
     """Factory resolving an optimizer name used in trainer configs."""
     lowered = name.lower()
     if lowered == "sgd":
-        return SGD(parameters, learning_rate, row_budget=row_budget)
+        return SGD(parameters, learning_rate, row_budget=row_budget, weight_decay=weight_decay)
     if lowered == "adagrad":
-        return Adagrad(parameters, learning_rate, row_budget=row_budget)
+        return Adagrad(parameters, learning_rate, row_budget=row_budget, weight_decay=weight_decay)
     if lowered == "adam":
-        return Adam(parameters, learning_rate, row_budget=row_budget)
+        return Adam(parameters, learning_rate, row_budget=row_budget, weight_decay=weight_decay)
     raise ValueError(f"unknown optimizer: {name!r}")

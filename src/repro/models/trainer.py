@@ -127,6 +127,9 @@ class TrainingConfig:
     checkpoint_dir: Optional[str] = TRAINING_DEFAULTS["checkpoint_dir"]
     #: Epochs between checkpoints (0 disables periodic saves even with a dir).
     checkpoint_every: int = TRAINING_DEFAULTS["checkpoint_every"]
+    #: L2 weight decay folded into the optimizer step; sparse runs decay only
+    #: the batch rows, keeping regularized steps O(batch).
+    weight_decay: float = TRAINING_DEFAULTS["weight_decay"]
 
 
 @dataclass
@@ -225,6 +228,7 @@ class TrainingRun:
             model.parameters(),
             self.config.learning_rate,
             row_budget=self.config.row_budget,
+            weight_decay=self.config.weight_decay,
         )
         #: Next epoch to run (0-based); advanced by ``train`` and ``restore``.
         self.epoch = 0

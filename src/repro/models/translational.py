@@ -44,29 +44,33 @@ class TransE(KGEModel):
         t = self.entity.gather(tails)
         return -self._distance(h + r - t)
 
-    def _distance_np(self, delta: np.ndarray) -> np.ndarray:
+    def _distance_np(self, delta: np.ndarray, xp=np) -> np.ndarray:
         if self.norm == 1:
-            return np.abs(delta).sum(axis=-1)
-        return np.sqrt((delta ** 2).sum(axis=-1))
+            return xp.sum(xp.abs(delta), axis=-1)
+        return xp.sqrt(xp.sum(delta ** 2, axis=-1))
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
+        ec = self.score_compute
+        xp = ec.xp
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]
+        r = ec.table(self.relation)[ec.index(relations)]
         query = h + r
-        entities = self.entity.data
-        scores = np.empty((len(query), self.num_entities))
-        for rows in iter_row_slices(len(query), entities.size):
-            scores[rows] = -self._distance_np(query[rows, None, :] - entities[None, :, :])
+        scores = ec.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), self.entity.data.size):
+            scores[rows] = -self._distance_np(query[rows, None, :] - entities[None, :, :], xp)
         return scores
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        r = self.relation.data[np.asarray(relations, dtype=np.int64)]
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        entities = self.entity.data
-        scores = np.empty((len(r), self.num_entities))
-        for rows in iter_row_slices(len(r), entities.size):
+        ec = self.score_compute
+        xp = ec.xp
+        entities = ec.table(self.entity)
+        r = ec.table(self.relation)[ec.index(relations)]
+        t = entities[ec.index(tails)]
+        scores = ec.empty((len(r), self.num_entities))
+        for rows in iter_row_slices(len(r), self.entity.data.size):
             delta = (entities[None, :, :] + r[rows, None, :]) - t[rows, None, :]
-            scores[rows] = -self._distance_np(delta)
+            scores[rows] = -self._distance_np(delta, xp)
         return scores
 
 
@@ -103,41 +107,46 @@ class TransH(KGEModel):
         delta = self._project(h, w_r) + d_r - self._project(t, w_r)
         return -delta.abs().sum(axis=-1)
 
-    def _unit_normals(self, relations: np.ndarray) -> np.ndarray:
-        w_r = self.normal.data[relations]
-        norm = np.sqrt((w_r ** 2).sum(axis=-1, keepdims=True) + 1e-12)
+    @staticmethod
+    def _unit_normals(normals_table, relations, xp=np):
+        w_r = normals_table[relations]
+        norm = xp.sqrt(xp.sum(w_r ** 2, axis=-1, keepdims=True) + 1e-12)
         return w_r / norm
 
     @staticmethod
-    def _project_np(vectors: np.ndarray, normals: np.ndarray) -> np.ndarray:
-        component = (vectors * normals).sum(axis=-1, keepdims=True)
+    def _project_np(vectors: np.ndarray, normals: np.ndarray, xp=np) -> np.ndarray:
+        component = xp.sum(vectors * normals, axis=-1, keepdims=True)
         return vectors - component * normals
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]
-        d_r = self.relation.data[relations]
-        w_r = self._unit_normals(relations)                               # (B, d)
-        query = self._project_np(h, w_r) + d_r                            # (B, d)
-        entities = self.entity.data
-        scores = np.empty((len(query), self.num_entities))
-        for rows in iter_row_slices(len(query), entities.size):
-            t_proj = self._project_np(entities[None, :, :], w_r[rows, None, :])
-            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]
+        d_r = ec.table(self.relation)[relations]
+        w_r = self._unit_normals(ec.table(self.normal), relations, xp)    # (B, d)
+        query = self._project_np(h, w_r, xp) + d_r                        # (B, d)
+        scores = ec.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), self.entity.data.size):
+            t_proj = self._project_np(entities[None, :, :], w_r[rows, None, :], xp)
+            scores[rows] = -xp.sum(xp.abs(query[rows, None, :] - t_proj), axis=-1)
         return scores
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        d_r = self.relation.data[relations]
-        w_r = self._unit_normals(relations)
-        t_proj = self._project_np(t, w_r)                                 # (B, d)
-        entities = self.entity.data
-        scores = np.empty((len(t), self.num_entities))
-        for rows in iter_row_slices(len(t), entities.size):
-            h_proj = self._project_np(entities[None, :, :], w_r[rows, None, :])
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        entities = ec.table(self.entity)
+        t = entities[ec.index(tails)]
+        d_r = ec.table(self.relation)[relations]
+        w_r = self._unit_normals(ec.table(self.normal), relations, xp)
+        t_proj = self._project_np(t, w_r, xp)                             # (B, d)
+        scores = ec.empty((len(t), self.num_entities))
+        for rows in iter_row_slices(len(t), self.entity.data.size):
+            h_proj = self._project_np(entities[None, :, :], w_r[rows, None, :], xp)
             delta = (h_proj + d_r[rows, None, :]) - t_proj[rows, None, :]
-            scores[rows] = -np.abs(delta).sum(axis=-1)
+            scores[rows] = -xp.sum(xp.abs(delta), axis=-1)
         return scores
 
 
@@ -180,30 +189,34 @@ class TransR(KGEModel):
         return -(h_proj + r - t_proj).abs().sum(axis=-1)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        h = self.entity.data[np.asarray(heads, dtype=np.int64)]           # (B, d)
-        r = self.relation.data[relations]                                  # (B, k)
-        m_r = self.projection.data[relations]                              # (B, k, d)
-        query = np.einsum("bkd,bd->bk", m_r, h) + r                        # (B, k)
-        entities = self.entity.data
-        scores = np.empty((len(query), self.num_entities))
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        entities = ec.table(self.entity)
+        h = entities[ec.index(heads)]                                      # (B, d)
+        r = ec.table(self.relation)[relations]                             # (B, k)
+        m_r = ec.table(self.projection)[relations]                         # (B, k, d)
+        query = xp.einsum("bkd,bd->bk", m_r, h) + r                        # (B, k)
+        scores = ec.empty((len(query), self.num_entities))
         for rows in iter_row_slices(len(query), self.num_entities * self.relation_dim):
-            t_proj = np.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
-            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+            t_proj = xp.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
+            scores[rows] = -xp.sum(xp.abs(query[rows, None, :] - t_proj), axis=-1)
         return scores
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        t = self.entity.data[np.asarray(tails, dtype=np.int64)]
-        r = self.relation.data[relations]
-        m_r = self.projection.data[relations]
-        t_proj = np.einsum("bkd,bd->bk", m_r, t)                           # (B, k)
-        entities = self.entity.data
-        scores = np.empty((len(t), self.num_entities))
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        entities = ec.table(self.entity)
+        t = entities[ec.index(tails)]
+        r = ec.table(self.relation)[relations]
+        m_r = ec.table(self.projection)[relations]
+        t_proj = xp.einsum("bkd,bd->bk", m_r, t)                           # (B, k)
+        scores = ec.empty((len(t), self.num_entities))
         for rows in iter_row_slices(len(t), self.num_entities * self.relation_dim):
-            h_proj = np.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
+            h_proj = xp.einsum("bkd,ed->bek", m_r[rows], entities)         # (rows, E, k)
             delta = (h_proj + r[rows, None, :]) - t_proj[rows, None, :]
-            scores[rows] = -np.abs(delta).sum(axis=-1)
+            scores[rows] = -xp.sum(xp.abs(delta), axis=-1)
         return scores
 
 
@@ -241,41 +254,47 @@ class TransD(KGEModel):
         delta = self._project(h, h_p, r_p) + r - self._project(t, t_p, r_p)
         return -delta.abs().sum(axis=-1)
 
-    def _entity_components(self) -> np.ndarray:
+    def _entity_components(self, ec=None) -> np.ndarray:
         """``(e_p · e)`` for every entity — the dynamic projection coefficients."""
-        return (self.entity_proj.data * self.entity.data).sum(axis=-1)
+        if ec is None:
+            return (self.entity_proj.data * self.entity.data).sum(axis=-1)
+        return ec.xp.sum(ec.table(self.entity_proj) * ec.table(self.entity), axis=-1)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        heads = np.asarray(heads, dtype=np.int64)
-        relations = np.asarray(relations, dtype=np.int64)
-        h = self.entity.data[heads]
-        r = self.relation.data[relations]
-        h_p = self.entity_proj.data[heads]
-        r_p = self.relation_proj.data[relations]
-        query = h + ((h_p * h).sum(axis=-1, keepdims=True)) * r_p + r      # (B, d)
-        components = self._entity_components()                              # (E,)
-        entities = self.entity.data
-        scores = np.empty((len(query), self.num_entities))
-        for rows in iter_row_slices(len(query), entities.size):
+        ec = self.score_compute
+        xp = ec.xp
+        heads = ec.index(heads)
+        relations = ec.index(relations)
+        entities = ec.table(self.entity)
+        h = entities[heads]
+        r = ec.table(self.relation)[relations]
+        h_p = ec.table(self.entity_proj)[heads]
+        r_p = ec.table(self.relation_proj)[relations]
+        query = h + (xp.sum(h_p * h, axis=-1, keepdims=True)) * r_p + r    # (B, d)
+        components = self._entity_components(ec)                            # (E,)
+        scores = ec.empty((len(query), self.num_entities))
+        for rows in iter_row_slices(len(query), self.entity.data.size):
             t_proj = entities[None, :, :] + components[None, :, None] * r_p[rows, None, :]
-            scores[rows] = -np.abs(query[rows, None, :] - t_proj).sum(axis=-1)
+            scores[rows] = -xp.sum(xp.abs(query[rows, None, :] - t_proj), axis=-1)
         return scores
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        tails = np.asarray(tails, dtype=np.int64)
-        t = self.entity.data[tails]
-        r = self.relation.data[relations]
-        t_p = self.entity_proj.data[tails]
-        r_p = self.relation_proj.data[relations]
-        t_proj = t + ((t_p * t).sum(axis=-1, keepdims=True)) * r_p          # (B, d)
-        components = self._entity_components()
-        entities = self.entity.data
-        scores = np.empty((len(t), self.num_entities))
-        for rows in iter_row_slices(len(t), entities.size):
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        tails = ec.index(tails)
+        entities = ec.table(self.entity)
+        t = entities[tails]
+        r = ec.table(self.relation)[relations]
+        t_p = ec.table(self.entity_proj)[tails]
+        r_p = ec.table(self.relation_proj)[relations]
+        t_proj = t + (xp.sum(t_p * t, axis=-1, keepdims=True)) * r_p        # (B, d)
+        components = self._entity_components(ec)
+        scores = ec.empty((len(t), self.num_entities))
+        for rows in iter_row_slices(len(t), self.entity.data.size):
             h_proj = entities[None, :, :] + components[None, :, None] * r_p[rows, None, :]
             delta = (h_proj + r[rows, None, :]) - t_proj[rows, None, :]
-            scores[rows] = -np.abs(delta).sum(axis=-1)
+            scores[rows] = -xp.sum(xp.abs(delta), axis=-1)
         return scores
 
 
@@ -315,39 +334,46 @@ class RotatE(KGEModel):
         distance = (delta_sq.sum(axis=-1) + 1e-12).sqrt()
         return -distance
 
-    def _rotations(self, relations: np.ndarray) -> tuple:
-        phases = self.phase.data[relations]
-        return np.cos(phases), np.sin(phases)
+    def _rotations(self, relations: np.ndarray, ec=None) -> tuple:
+        if ec is None:
+            phases = self.phase.data[relations]
+            return np.cos(phases), np.sin(phases)
+        phases = ec.table(self.phase)[relations]
+        return ec.xp.cos(phases), ec.xp.sin(phases)
 
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
-        heads = np.asarray(heads, dtype=np.int64)
-        relations = np.asarray(relations, dtype=np.int64)
-        h_re = self.entity_re.data[heads]
-        h_im = self.entity_im.data[heads]
-        cos_r, sin_r = self._rotations(relations)
+        ec = self.score_compute
+        xp = ec.xp
+        heads = ec.index(heads)
+        relations = ec.index(relations)
+        entities_re = ec.table(self.entity_re)
+        entities_im = ec.table(self.entity_im)
+        h_re = entities_re[heads]
+        h_im = entities_im[heads]
+        cos_r, sin_r = self._rotations(relations, ec)
         rotated_re = h_re * cos_r - h_im * sin_r                            # (B, d)
         rotated_im = h_re * sin_r + h_im * cos_r
-        entities_re = self.entity_re.data
-        entities_im = self.entity_im.data
-        scores = np.empty((len(rotated_re), self.num_entities))
-        for rows in iter_row_slices(len(rotated_re), entities_re.size):
+        scores = ec.empty((len(rotated_re), self.num_entities))
+        for rows in iter_row_slices(len(rotated_re), self.entity_re.data.size):
             delta_sq = (
                 (rotated_re[rows, None, :] - entities_re[None, :, :]) ** 2
                 + (rotated_im[rows, None, :] - entities_im[None, :, :]) ** 2
             )
-            scores[rows] = -np.sqrt(delta_sq.sum(axis=-1) + 1e-12)
+            scores[rows] = -xp.sqrt(xp.sum(delta_sq, axis=-1) + 1e-12)
         return scores
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
-        relations = np.asarray(relations, dtype=np.int64)
-        tails = np.asarray(tails, dtype=np.int64)
-        t_re = self.entity_re.data[tails]
-        t_im = self.entity_im.data[tails]
-        cos_r, sin_r = self._rotations(relations)
-        entities_re = self.entity_re.data
-        entities_im = self.entity_im.data
-        scores = np.empty((len(t_re), self.num_entities))
-        for rows in iter_row_slices(len(t_re), entities_re.size):
+        ec = self.score_compute
+        xp = ec.xp
+        relations = ec.index(relations)
+        tails = ec.index(tails)
+        entities_re = ec.table(self.entity_re)
+        entities_im = ec.table(self.entity_im)
+        t_re = entities_re[tails]
+        t_im = entities_im[tails]
+        cos_r, sin_r = self._rotations(relations, ec)
+        scores = ec.empty((len(t_re), self.num_entities))
+        for rows in iter_row_slices(len(t_re), self.entity_re.data.size):
             rotated_re = (
                 entities_re[None, :, :] * cos_r[rows, None, :]
                 - entities_im[None, :, :] * sin_r[rows, None, :]
@@ -357,7 +383,7 @@ class RotatE(KGEModel):
                 + entities_im[None, :, :] * cos_r[rows, None, :]
             )
             delta_sq = (rotated_re - t_re[rows, None, :]) ** 2 + (rotated_im - t_im[rows, None, :]) ** 2
-            scores[rows] = -np.sqrt(delta_sq.sum(axis=-1) + 1e-12)
+            scores[rows] = -xp.sqrt(xp.sum(delta_sq, axis=-1) + 1e-12)
         return scores
 
     def apply_constraints(

@@ -19,11 +19,12 @@ from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from ..backend import ScoreComputeMixin
 from ..kg.triples import TripleSet
 from .rule import Rule, X, Y
 
 
-class RuleBasedPredictor:
+class RuleBasedPredictor(ScoreComputeMixin):
     """Scores link-prediction candidates with a mined rule set."""
 
     #: Weight of the tie-breaking term (number of applicable rules); kept far
@@ -101,16 +102,18 @@ class RuleBasedPredictor:
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
         """(B, E) rule scores in one preallocated matrix.
 
-        Rule instantiation is inherently per-query set algebra; callers that
-        batch through the evaluator already deduplicate queries, so no
-        per-call memoization is layered on top.
+        Rule instantiation is inherently per-query set algebra (host-side);
+        callers that batch through the evaluator already deduplicate queries,
+        so no per-call memoization is layered on top.  The finished matrix is
+        exported to the configured score backend/dtype (identity on the
+        default numpy/fp64 configuration).
         """
         heads = np.asarray(heads, dtype=np.int64).reshape(-1)
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         scores = np.empty((len(heads), self.num_entities))
         for row, (h, r) in enumerate(zip(heads, relations)):
             scores[row] = self.score_all_tails(int(h), int(r))
-        return scores
+        return self.score_compute.export(scores)
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
         """(B, E) rule scores in one preallocated matrix (see ``score_tails_batch``)."""
@@ -119,7 +122,7 @@ class RuleBasedPredictor:
         scores = np.empty((len(relations), self.num_entities))
         for row, (r, t) in enumerate(zip(relations, tails)):
             scores[row] = self.score_all_heads(int(r), int(t))
-        return scores
+        return self.score_compute.export(scores)
 
     def score_triples_np(
         self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray

@@ -1,0 +1,159 @@
+"""Backend registry and numpy-backend op semantics.
+
+The registry contract: names resolve to singletons, unavailable accelerators
+fail loudly with a dedicated error, ``auto`` always resolves to *something*
+(numpy is unconditionally available), and the active autodiff backend can be
+swapped within a ``use_backend`` scope without leaking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendCapabilityError,
+    BackendUnavailableError,
+    DTYPE_SPECS,
+    EvalCompute,
+    NumpyBackend,
+    UnknownBackendError,
+    active_backend,
+    available_backends,
+    canonical_dtype,
+    get_backend,
+    numpy_dtype,
+    set_active_backend,
+    use_backend,
+)
+
+
+# ---------------------------------------------------------------------------- registry
+def test_numpy_backend_always_available():
+    assert "numpy" in available_backends()
+    backend = get_backend("numpy")
+    assert isinstance(backend, NumpyBackend)
+    assert backend.name == "numpy"
+    assert backend.supports_autodiff
+
+
+def test_backends_are_singletons():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(UnknownBackendError):
+        get_backend("tensorflow")
+
+
+def test_auto_resolves_to_an_available_backend():
+    backend = get_backend("auto")
+    assert isinstance(backend, ArrayBackend)
+    assert backend.name in available_backends()
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_unavailable_accelerators_fail_loudly(name):
+    if name in available_backends():
+        pytest.skip(f"{name} is importable here; unavailability path not reachable")
+    with pytest.raises(BackendUnavailableError):
+        get_backend(name)
+
+
+# ---------------------------------------------------------------------------- active backend
+def test_active_backend_defaults_to_numpy():
+    assert active_backend().name == "numpy"
+
+
+def test_use_backend_scope_restores_previous():
+    before = active_backend()
+    with use_backend("numpy") as backend:
+        assert active_backend() is backend
+    assert active_backend() is before
+
+
+def test_set_active_backend_rejects_non_autodiff_backends():
+    if "torch" not in available_backends():
+        pytest.skip("torch backend not available")
+    with pytest.raises(BackendCapabilityError):
+        set_active_backend("torch")
+
+
+# ---------------------------------------------------------------------------- dtypes
+def test_dtype_specs_canonicalize():
+    assert set(DTYPE_SPECS) == {"fp64", "fp32", "fp16"}
+    assert canonical_dtype("fp32") == "fp32"
+    assert numpy_dtype("fp64") == np.dtype(np.float64)
+    assert numpy_dtype("fp16") == np.dtype(np.float16)
+    with pytest.raises(ValueError):
+        canonical_dtype("bf16")
+
+
+# ---------------------------------------------------------------------------- numpy op semantics
+def test_compare_counts_matches_reference_expressions():
+    rng = np.random.default_rng(0)
+    backend = get_backend("numpy")
+    scores = rng.integers(0, 5, size=50).astype(np.float64)   # heavy ties
+    thresholds = scores[[3, 10, 33]]
+    greater, equal = backend.compare_counts(scores, thresholds)
+    np.testing.assert_array_equal(
+        greater, (scores[None, :] > thresholds[:, None]).sum(axis=1)
+    )
+    np.testing.assert_array_equal(
+        equal, (scores[None, :] == thresholds[:, None]).sum(axis=1)
+    )
+    assert greater.dtype == np.int64 and equal.dtype == np.int64
+
+
+def test_scatter_add_accumulates_duplicates():
+    backend = get_backend("numpy")
+    target = np.zeros((4, 2))
+    backend.scatter_add(
+        target, np.array([1, 1, 3]), np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    )
+    np.testing.assert_array_equal(target[1], [4.0, 6.0])
+    np.testing.assert_array_equal(target[3], [5.0, 6.0])
+
+
+def test_rng_is_a_host_numpy_generator_on_every_backend():
+    for name in available_backends():
+        rng = get_backend(name).rng(123)
+        reference = np.random.default_rng(123)
+        np.testing.assert_array_equal(rng.random(4), reference.random(4))
+
+
+# ---------------------------------------------------------------------------- EvalCompute
+def test_reference_compute_is_pure_passthrough():
+    from repro.autodiff import Parameter
+
+    compute = EvalCompute("numpy", "fp64")
+    assert compute.is_reference
+    parameter = Parameter(np.arange(6, dtype=np.float64).reshape(3, 2))
+    assert compute.table(parameter) is parameter.data
+    scores = np.ones((2, 3))
+    assert compute.export(scores) is scores
+    assert compute.as_numpy(scores) is scores
+
+
+def test_non_reference_compute_casts_and_caches():
+    from repro.autodiff import Parameter
+
+    compute = EvalCompute("numpy", "fp32")
+    assert not compute.is_reference
+    parameter = Parameter(np.arange(6, dtype=np.float64).reshape(3, 2))
+    table = compute.table(parameter)
+    assert table.dtype == np.float32
+    assert compute.table(parameter) is table          # cached
+    compute.invalidate()
+    assert compute.table(parameter) is not table      # cache dropped
+
+
+def test_compute_pickles_by_name():
+    import pickle
+
+    compute = EvalCompute("numpy", "fp32")
+    clone = pickle.loads(pickle.dumps(compute))
+    assert clone.backend_name == "numpy"
+    assert clone.dtype_name == "fp32"
+    assert clone.backend is get_backend("numpy")

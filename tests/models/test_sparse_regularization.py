@@ -1,0 +1,185 @@
+"""Weight decay in the sparse training engine (satellite: O(batch) L2).
+
+The contract: weight decay is folded into the gradient *before* the update
+rule, so a sparse step regularizes exactly the rows the batch touched — an
+O(batch) cost with lazy-decay semantics — and whenever every row is touched
+the sparse decayed update is **bit-identical** to the dense decayed update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Parameter
+from repro.models import (
+    ModelConfig,
+    TrainingConfig,
+    make_model,
+    make_optimizer,
+    train_model,
+)
+
+NUM_ROWS = 9
+DIM = 4
+WD = 0.03
+
+
+def _run_steps(optimizer_name, sparse, steps, weight_decay, learning_rate=0.1):
+    rng = np.random.default_rng(11)
+    parameter = Parameter(rng.normal(size=(NUM_ROWS, DIM)), sparse_updates=sparse)
+    optimizer = make_optimizer(
+        optimizer_name, {"table": parameter}, learning_rate, weight_decay=weight_decay
+    )
+    for indices, grad in steps:
+        parameter.zero_grad()
+        parameter.gather(indices).backward(grad)
+        optimizer.step()
+    return parameter.data.copy()
+
+
+def _all_rows_steps(num_steps=6, seed=23):
+    rng = np.random.default_rng(seed)
+    indices = np.arange(NUM_ROWS)
+    return [(indices, rng.normal(size=(NUM_ROWS, DIM))) for _ in range(num_steps)]
+
+
+def _partial_steps(num_steps=7, seed=29):
+    rng = np.random.default_rng(seed)
+    steps = []
+    for _ in range(num_steps):
+        length = int(rng.integers(1, 6))
+        steps.append(
+            (rng.integers(0, NUM_ROWS, size=length), rng.normal(size=(length, DIM)))
+        )
+    return steps
+
+
+# ---------------------------------------------------------------------------- equivalence
+@pytest.mark.parametrize("optimizer_name", ["sgd", "adagrad", "adam"])
+def test_decayed_sparse_equals_decayed_dense_when_all_rows_touched(optimizer_name):
+    steps = _all_rows_steps()
+    dense = _run_steps(optimizer_name, sparse=False, steps=steps, weight_decay=WD)
+    sparse = _run_steps(optimizer_name, sparse=True, steps=steps, weight_decay=WD)
+    assert np.array_equal(dense, sparse)
+
+
+@pytest.mark.parametrize("optimizer_name", ["sgd", "adagrad"])
+def test_zero_decay_is_the_undecayed_update(optimizer_name):
+    steps = _partial_steps()
+    undecayed = _run_steps(optimizer_name, sparse=True, steps=steps, weight_decay=0.0)
+    reference_rng = np.random.default_rng(11)
+    reference = Parameter(
+        reference_rng.normal(size=(NUM_ROWS, DIM)), sparse_updates=True
+    )
+    optimizer = make_optimizer(optimizer_name, {"table": reference}, 0.1)
+    for indices, grad in steps:
+        reference.zero_grad()
+        reference.gather(indices).backward(grad)
+        optimizer.step()
+    assert np.array_equal(undecayed, reference.data)
+
+
+# ---------------------------------------------------------------------------- O(batch) semantics
+def test_sparse_decay_touches_only_the_batch_rows():
+    rng = np.random.default_rng(5)
+    start = rng.normal(size=(NUM_ROWS, DIM))
+    parameter = Parameter(start.copy(), sparse_updates=True)
+    optimizer = make_optimizer("sgd", {"table": parameter}, 0.1, weight_decay=WD)
+    touched = np.array([1, 4, 4])
+    parameter.zero_grad()
+    parameter.gather(touched).backward(np.zeros((3, DIM)))
+    optimizer.step()
+    untouched = np.setdiff1d(np.arange(NUM_ROWS), touched)
+    # Untouched rows see no decay at all — lazy-decay semantics.
+    assert np.array_equal(parameter.data[untouched], start[untouched])
+    # Touched rows decayed even with a zero data gradient; duplicate gathers
+    # coalesce to unique rows first, so each touched row decays exactly once.
+    expected = start[[1, 4]] * (1.0 - 0.1 * WD)
+    np.testing.assert_allclose(parameter.data[[1, 4]], expected, rtol=0, atol=1e-15)
+
+
+def test_dense_decay_applies_to_every_row():
+    rng = np.random.default_rng(6)
+    start = rng.normal(size=(NUM_ROWS, DIM))
+    parameter = Parameter(start.copy())
+    optimizer = make_optimizer("sgd", {"table": parameter}, 0.1, weight_decay=WD)
+    parameter.zero_grad()
+    parameter.gather(np.array([0])).backward(np.zeros((1, DIM)))
+    optimizer.step()
+    # Dense decay shrinks even rows with zero gradient.
+    assert not np.array_equal(parameter.data[3], start[3])
+    np.testing.assert_allclose(
+        parameter.data[3], start[3] * (1.0 - 0.1 * WD), rtol=0, atol=1e-15
+    )
+
+
+# ---------------------------------------------------------------------------- plumbing
+def test_make_optimizer_threads_weight_decay():
+    parameter = Parameter(np.ones((2, 2)))
+    for name in ("sgd", "adagrad", "adam"):
+        optimizer = make_optimizer(name, {"p": parameter}, 0.1, weight_decay=0.25)
+        assert optimizer.weight_decay == 0.25
+
+
+def test_negative_weight_decay_rejected():
+    parameter = Parameter(np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        make_optimizer("sgd", {"p": parameter}, 0.1, weight_decay=-0.1)
+
+
+def test_training_config_threads_weight_decay(toy_dataset):
+    model = make_model(
+        "DistMult",
+        toy_dataset.num_entities,
+        toy_dataset.num_relations,
+        ModelConfig(dim=8, seed=2),
+    )
+    decayed = train_model(
+        model,
+        toy_dataset,
+        TrainingConfig(epochs=2, batch_size=4, seed=2, weight_decay=0.1),
+    )
+    model_plain = make_model(
+        "DistMult",
+        toy_dataset.num_entities,
+        toy_dataset.num_relations,
+        ModelConfig(dim=8, seed=2),
+    )
+    plain = train_model(
+        model_plain, toy_dataset, TrainingConfig(epochs=2, batch_size=4, seed=2)
+    )
+    # Decay actually changes the trajectory...
+    assert not np.array_equal(decayed.epoch_losses, plain.epoch_losses)
+    # ...and keeps it finite.
+    assert np.all(np.isfinite(decayed.epoch_losses))
+
+
+@pytest.mark.parametrize("model_name", ["TransE", "DistMult", "ComplEx"])
+def test_decayed_sparse_training_is_bit_identical_to_dense(model_name, toy_dataset):
+    curves, finals = [], []
+    for sparse in (True, False):
+        model = make_model(
+            model_name,
+            toy_dataset.num_entities,
+            toy_dataset.num_relations,
+            ModelConfig(dim=8, seed=3),
+        )
+        result = train_model(
+            model,
+            toy_dataset,
+            TrainingConfig(
+                epochs=3,
+                batch_size=len(toy_dataset.train),  # every step touches all rows
+                num_negatives=2,
+                seed=3,
+                optimizer="sgd",
+                sparse_updates=sparse,
+                weight_decay=0.05,
+            ),
+        )
+        curves.append(result.epoch_losses)
+        finals.append({name: p.data.copy() for name, p in model.parameters().items()})
+    assert np.array_equal(curves[0], curves[1])
+    for name in finals[0]:
+        assert np.array_equal(finals[0][name], finals[1][name]), name
