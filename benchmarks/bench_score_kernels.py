@@ -38,6 +38,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.options import EvalOptions
 from repro.backend import available_backends
 from repro.eval import LinkPredictionEvaluator
 from repro.kg import Dataset, TripleSet, Vocabulary
@@ -180,7 +181,10 @@ def measure_accelerators(seed: int = 41) -> dict:
             continue
         dataset, model = build_workload(seed)
         evaluator = LinkPredictionEvaluator(
-            dataset, backend=name, eval_dtype="fp32", score_block_budget=FUSED_BUDGET
+            dataset,
+            options=EvalOptions(
+                backend=name, eval_dtype="fp32", score_block_budget=FUSED_BUDGET
+            ),
         )
         seconds, outcome = _best_of(lambda: evaluator.evaluate(model), repeats=1)
         entries.append(

@@ -32,13 +32,31 @@ _EXPORTS = {
     "Runner": "pipeline",
     "RunReport": "pipeline",
     "StageReport": "pipeline",
+    "EvalOptions": "options",
+    "PROTOCOL_VERSION": "serving",
+    "Query": "serving",
+    "TopKResult": "serving",
+    "QueryBatch": "serving",
+    "BatchResult": "serving",
+    "WireError": "serving",
+    "queries_for_triples": "serving",
 }
 
 __all__ = sorted(_EXPORTS) + ["schema"]
 
 if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
     from .artifacts import ArtifactStore, artifact_key_string  # noqa: F401
+    from .options import EvalOptions  # noqa: F401
     from .pipeline import Runner, RunReport, StageReport  # noqa: F401
+    from .serving import (  # noqa: F401
+        PROTOCOL_VERSION,
+        BatchResult,
+        Query,
+        QueryBatch,
+        TopKResult,
+        WireError,
+        queries_for_triples,
+    )
     from .spec import (  # noqa: F401
         ExperimentSpec,
         SpecError,

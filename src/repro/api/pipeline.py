@@ -183,19 +183,14 @@ def ensure_scorer(store: ArtifactStore, config, model_name: str, dataset_name: s
 def ensure_evaluation(store: ArtifactStore, config, model_name: str, dataset_name: str):
     """Cached link-prediction evaluation of one scorer on one dataset."""
     from ..eval.ranking import LinkPredictionEvaluator
+    from .options import EvalOptions
 
     key = ("evaluation", model_name, dataset_name)
     if key in store:
         return store[key]
     dataset = ensure_dataset(store, config, dataset_name)
     evaluator = LinkPredictionEvaluator(
-        dataset,
-        eval_batch_size=config.eval_batch_size,
-        n_workers=config.eval_workers,
-        shard_size=config.eval_shard_size,
-        backend=getattr(config, "eval_backend", "numpy"),
-        eval_dtype=getattr(config, "eval_dtype", "fp64"),
-        score_block_budget=getattr(config, "score_block_budget", None),
+        dataset, options=EvalOptions.from_experiment_config(config)
     )
     result = evaluator.evaluate(
         ensure_scorer(store, config, model_name, dataset_name), model_name=model_name

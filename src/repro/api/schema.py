@@ -304,10 +304,48 @@ EVALUATION = Section(
     ),
 )
 
-#: Every section, in the order spec files and docs present them.
+SERVING = Section(
+    "serving",
+    "Persistent link-prediction serving: query engine and TCP server.",
+    (
+        Knob("host", str, "127.0.0.1", "interface the query server binds"),
+        Knob(
+            "port", int, 8642,
+            "TCP port of the query server (0 = pick a free port and print it)",
+            minimum=0, maximum=65535,
+        ),
+        Knob(
+            "max_batch", int, 64,
+            "max concurrent queries coalesced into one micro-batch",
+            minimum=1,
+        ),
+        Knob(
+            "max_delay_ms", float, 2.0,
+            "micro-batch coalescing window in milliseconds (0 = flush on next tick)",
+            minimum=0.0,
+        ),
+        Knob(
+            "cache_entries", int, 1024,
+            "bounded LRU cache of score rows for hot queries (0 disables caching)",
+            minimum=0,
+        ),
+        Knob(
+            "top_k", int, 10,
+            "candidates returned per query when the request does not say",
+            minimum=1, flag="--top-k",
+        ),
+    ),
+)
+
+#: Every *experiment* section, in the order spec files and docs present them.
+#: ``SERVING`` is deliberately not an experiment section: serving knobs shape
+#: a long-lived process, not a reproducible experiment declaration, so they
+#: get CLI flags and environment overrides but no place in spec files (and
+#: therefore never perturb spec fingerprints).
 SECTIONS: Tuple[Section, ...] = (DATASET, INGEST, AUDIT, MODEL, TRAINING, EVALUATION)
 
 SECTIONS_BY_NAME: Dict[str, Section] = {section.name: section for section in SECTIONS}
+SECTIONS_BY_NAME[SERVING.name] = SERVING
 
 #: Sections a per-model / per-dataset override patch may touch.
 OVERRIDABLE_SECTIONS: Tuple[str, ...] = ("model", "training", "evaluation", "audit")
@@ -329,3 +367,4 @@ AUDIT_DEFAULTS = AUDIT.defaults()
 MODEL_DEFAULTS = MODEL.defaults()
 TRAINING_DEFAULTS = TRAINING.defaults()
 EVALUATION_DEFAULTS = EVALUATION.defaults()
+SERVING_DEFAULTS = SERVING.defaults()

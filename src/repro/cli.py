@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from .api import schema
+from .api.options import EvalOptions
 from .api.spec import (
     ExperimentSpec,
     SpecValidationError,
@@ -508,14 +509,96 @@ def command_train(args: argparse.Namespace) -> int:
         model,
         dataset,
         model_name=args.model,
-        eval_batch_size=config.eval_batch_size,
-        n_workers=config.eval_workers,
-        shard_size=config.eval_shard_size,
-        backend=config.eval_backend,
-        eval_dtype=config.eval_dtype,
-        score_block_budget=config.score_block_budget,
+        options=EvalOptions.from_experiment_config(config),
     )
     print(render_table([evaluation.as_row()], title="Link prediction"))
+    if args.export_artifact:
+        from .serve import ModelArtifact
+
+        artifact = ModelArtifact.save(model, args.export_artifact, overwrite=True)
+        print(f"model artifact written to {args.export_artifact} ({artifact.fingerprint})")
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Serve link-prediction queries from a saved model artifact."""
+    _configure_logging(args.verbose, args.quiet)
+    from .serve import ModelArtifact, QueryEngine, known_completion_index
+    from .serve.server import serve_forever
+
+    try:
+        artifact = ModelArtifact.load(args.artifact)
+    except Exception as error:
+        raise SystemExit(f"cannot load artifact {args.artifact}: {error}")
+    scorer = artifact.instantiate()
+    known = {}
+    if args.dataset:
+        dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
+        known = known_completion_index(dataset.known_triples())
+        print(
+            f"filtered queries exclude {sum(len(v) for v in known.values())} "
+            f"known completions from {dataset.name}"
+        )
+    engine = QueryEngine(
+        scorer,
+        known=known,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        cache_entries=args.cache_entries,
+    )
+
+    def announce(address) -> None:
+        print(
+            f"serving {artifact.model_name} ({artifact.num_entities} entities, "
+            f"{artifact.num_relations} relations) on {address[0]}:{address[1]}",
+            flush=True,
+        )
+
+    serve_forever(engine, args.host, args.port, ready=announce)
+    return 0
+
+
+def command_query(args: argparse.Namespace) -> int:
+    """Ask a running ``repro-kgc serve`` process for top-k completions."""
+    from .api.serving import Query, QueryBatch, WireError
+    from .serve.server import query_server
+
+    query = Query(
+        side=args.side,
+        anchor=args.anchor,
+        relation=args.relation,
+        k=args.top_k,
+        filtered=args.filtered,
+        with_ranks=not args.no_ranks,
+    )
+    try:
+        response = query_server(args.host, args.port, QueryBatch.of(query))
+    except ConnectionError as error:
+        raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {error}")
+    except WireError as error:
+        raise SystemExit(f"server rejected the query: {error}")
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(response.to_wire(), indent=2))
+        return 0
+    for result in response.results:
+        rows = []
+        for position, entity in enumerate(result.entities):
+            row: Dict[str, Any] = {
+                "entity": entity,
+                "score": result.scores[position],
+            }
+            if result.ranks:
+                row["rank"] = result.ranks[position]
+            rows.append(row)
+        triple = (
+            f"({result.anchor}, {result.relation}, ?)"
+            if result.side == "tail"
+            else f"(?, {result.relation}, {result.anchor})"
+        )
+        suffix = " [filtered]" if result.filtered else ""
+        print(render_table(rows, title=f"top-{len(rows)} for {triple}{suffix}"))
     return 0
 
 
@@ -632,8 +715,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="checkpoint .npz to restore before training (same model/dataset/config)",
     )
+    train.add_argument(
+        "--export-artifact",
+        default=None,
+        metavar="DIR",
+        help="save the trained model as a memory-mapped serving artifact",
+    )
     add_verbosity(train)
     train.set_defaults(handler=command_train)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve link-prediction queries from a saved model artifact"
+    )
+    serve.add_argument(
+        "--artifact",
+        required=True,
+        help="model artifact directory (written by `train --export-artifact`)",
+    )
+    serve.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset name or TSV directory supplying the filtered-query index",
+    )
+    add_common(serve, "serve")
+    _add_schema_flags(
+        serve, "serve", schema.SERVING,
+        ("host", "port", "max_batch", "max_delay_ms", "cache_entries"),
+    )
+    add_verbosity(serve)
+    serve.set_defaults(handler=command_serve)
+
+    query = subparsers.add_parser(
+        "query", help="ask a running serve process for top-k completions"
+    )
+    query.add_argument(
+        "--side", choices=("tail", "head"), default="tail",
+        help="predict tails of (anchor, relation, ?) or heads of (?, relation, anchor)",
+    )
+    query.add_argument("--anchor", type=int, required=True, help="anchor entity id")
+    query.add_argument("--relation", type=int, required=True, help="relation id")
+    query.add_argument(
+        "--filtered", action="store_true",
+        help="exclude the server's known completions (predict new links)",
+    )
+    query.add_argument(
+        "--no-ranks", action="store_true", help="skip exact mean-tie rank annotation"
+    )
+    query.add_argument(
+        "--json", action="store_true", help="print the raw response envelope"
+    )
+    _add_schema_flags(query, "query", schema.SERVING, ("host", "port", "top_k"))
+    query.set_defaults(handler=command_query)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
     add_common(experiment, "experiment")

@@ -7,6 +7,7 @@ from .metrics import (
     better_of,
     metrics_from_rank_pairs,
 )
+from ..api.options import EvalOptions
 from .ranking import (
     DEFAULT_EVAL_BATCH_SIZE,
     CandidateScorer,
@@ -38,6 +39,7 @@ __all__ = [
     "metrics_from_rank_pairs",
     "CandidateScorer",
     "DEFAULT_EVAL_BATCH_SIZE",
+    "EvalOptions",
     "RankRecord",
     "EvaluationResult",
     "LinkPredictionEvaluator",

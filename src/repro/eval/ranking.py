@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..api.options import EvalOptions
 from ..api.schema import EVALUATION_DEFAULTS
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet
@@ -176,33 +177,35 @@ class LinkPredictionEvaluator:
         dataset: Dataset,
         filter_triples: Optional[Iterable[Triple]] = None,
         extra_ground_truth: Optional[TripleSet] = None,
-        eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
-        n_workers: int = 1,
-        shard_size: Optional[int] = None,
-        mp_start_method: Optional[str] = None,
-        backend: str = "numpy",
-        eval_dtype: str = "fp64",
-        score_block_budget: Optional[int] = None,
+        options: Optional[EvalOptions] = None,
+        **legacy,
     ) -> None:
+        if legacy:
+            # Pre-EvalOptions keyword surface (eval_batch_size=, n_workers=,
+            # ...): folded in with a DeprecationWarning; unknown keywords
+            # still raise TypeError as they always did.
+            options = EvalOptions.from_legacy_kwargs(legacy, base=options)
+        options = (options or EvalOptions()).normalized()
+        #: How this evaluation runs — the schema-derived option object.
+        self.options = options
         self.dataset = dataset
-        self.eval_batch_size = max(1, int(eval_batch_size))
+        #: Unique queries per batched scorer call (bounds the (B, E) matrix).
+        self.eval_batch_size = options.batch_size
         #: Worker processes for the sharded batched path; ``1`` keeps the
         #: exact in-process evaluation (no pool is ever created).
-        self.n_workers = max(1, int(n_workers))
+        self.n_workers = options.workers
         #: Queries per shard (``None`` = one balanced shard per worker).
-        self.shard_size = None if shard_size is None else max(1, int(shard_size))
+        self.shard_size = options.shard_size
         #: Multiprocessing start method override (``None`` = platform best).
-        self.mp_start_method = mp_start_method
+        self.mp_start_method = options.mp_start_method
         #: Array backend + dtype the scorer's batched kernels compute on; the
         #: defaults are the bit-identity reference configuration.  Applied to
         #: scorers exposing ``set_score_backend`` at ``evaluate()`` time.
-        self.backend = str(backend)
-        self.eval_dtype = str(eval_dtype)
+        self.backend = options.backend
+        self.eval_dtype = options.eval_dtype
         #: Max elements of a resident score block; a value enables the fused
         #: score+rank path (never materializes the (B, E) host matrix).
-        self.score_block_budget = (
-            None if score_block_budget is None else max(1, int(score_block_budget))
-        )
+        self.score_block_budget = options.score_block_budget
         known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
         if extra_ground_truth is not None:
             known |= extra_ground_truth.as_set()
@@ -401,22 +404,17 @@ def evaluate_model(
     test_triples: Optional[Sequence[Triple]] = None,
     extra_ground_truth: Optional[TripleSet] = None,
     model_name: Optional[str] = None,
-    eval_batch_size: int = DEFAULT_EVAL_BATCH_SIZE,
-    n_workers: int = 1,
-    shard_size: Optional[int] = None,
-    backend: str = "numpy",
-    eval_dtype: str = "fp64",
-    score_block_budget: Optional[int] = None,
+    options: Optional[EvalOptions] = None,
+    **legacy,
 ) -> EvaluationResult:
     """Convenience wrapper constructing the evaluator with default filtering."""
+    if legacy:
+        options = EvalOptions.from_legacy_kwargs(
+            legacy, base=options, owner="evaluate_model"
+        )
     evaluator = LinkPredictionEvaluator(
         dataset,
         extra_ground_truth=extra_ground_truth,
-        eval_batch_size=eval_batch_size,
-        n_workers=n_workers,
-        shard_size=shard_size,
-        backend=backend,
-        eval_dtype=eval_dtype,
-        score_block_budget=score_block_budget,
+        options=options,
     )
     return evaluator.evaluate(scorer, test_triples=test_triples, model_name=model_name)

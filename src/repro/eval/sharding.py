@@ -298,6 +298,21 @@ def rank_shard(
 
 
 # ---------------------------------------------------------------------------- worker plumbing
+def _shippable_scorer(scorer):
+    """What the pool initializer should pickle for ``scorer``.
+
+    A scorer carrying a saved model artifact (:mod:`repro.serve.artifact`)
+    ships as its :class:`ArtifactScorerRef` — a few strings — instead of its
+    full parameter tables; each worker re-opens the artifact's ``.npy``
+    files memory-mapped, so all workers share one physical copy of the
+    tables through the page cache.  Scorers without an artifact ship as
+    before (whole-object pickle).
+    """
+    from ..serve.artifact import artifact_ref_for
+
+    return artifact_ref_for(scorer) or scorer
+
+
 def _init_worker(
     scorer,
     known: Dict[str, Dict[Query, np.ndarray]],
@@ -306,6 +321,10 @@ def _init_worker(
 ) -> None:
     """Pool initializer: install the scorer and filter index once per worker."""
     global _WORKER_STATE
+    from ..serve.artifact import ArtifactScorerRef
+
+    if isinstance(scorer, ArtifactScorerRef):
+        scorer = scorer.resolve()
     _WORKER_STATE = (scorer, known, eval_batch_size, score_block_budget)
 
 
@@ -356,7 +375,7 @@ def evaluate_shards(
     with context.Pool(
         processes=processes,
         initializer=_init_worker,
-        initargs=(scorer, known, eval_batch_size, score_block_budget),
+        initargs=(_shippable_scorer(scorer), known, eval_batch_size, score_block_budget),
     ) as pool:
         # Pool.map preserves task submission order: the merge below is a
         # deterministic concatenation, independent of completion order.

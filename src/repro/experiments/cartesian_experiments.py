@@ -64,15 +64,12 @@ def table3_cartesian_predictor(workbench: Workbench) -> Dict[str, object]:
     cartesian_predictor = CartesianProductPredictor(
         dataset.train, dataset.num_entities, density_threshold=0.75
     )
-    config = workbench.config
-    evaluator_knobs = dict(
-        eval_batch_size=config.eval_batch_size,
-        n_workers=config.eval_workers,
-        shard_size=config.eval_shard_size,
-    )
-    benchmark_evaluator = LinkPredictionEvaluator(dataset, **evaluator_knobs)
+    from ..api.options import EvalOptions
+
+    options = EvalOptions.from_experiment_config(workbench.config)
+    benchmark_evaluator = LinkPredictionEvaluator(dataset, options=options)
     snapshot_evaluator = LinkPredictionEvaluator(
-        dataset, extra_ground_truth=snapshot_triples, **evaluator_knobs
+        dataset, extra_ground_truth=snapshot_triples, options=options
     )
 
     rows: List[Dict[str, object]] = []

@@ -382,10 +382,14 @@ class TrainingRun:
             )
             return
         if self._validator is None:
+            from ..api.options import EvalOptions
+
             self._validator = LinkPredictionEvaluator(
                 self.dataset,
-                eval_batch_size=self.config.validation_batch_size,
-                n_workers=self.config.validation_workers,
+                options=EvalOptions(
+                    batch_size=self.config.validation_batch_size,
+                    workers=self.config.validation_workers,
+                ),
             )
         self.model.train_mode(False)
         try:

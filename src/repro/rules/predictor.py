@@ -21,6 +21,7 @@ import numpy as np
 
 from ..backend import ScoreComputeMixin
 from ..kg.triples import TripleSet
+from ..serve.cache import ScoreCache
 from .rule import Rule, X, Y
 
 
@@ -31,8 +32,16 @@ class RuleBasedPredictor(ScoreComputeMixin):
     #: below the confidence resolution so it only ever breaks exact ties.
     TIE_BREAK_WEIGHT = 1e-6
 
+    #: Bound of the persistent ``(h, r)`` score-vector cache backing
+    #: :meth:`score_triples_np` (see :class:`repro.serve.ScoreCache`).
+    CACHE_ENTRIES = 512
+
     def __init__(self, rules: Iterable[Rule], train: TripleSet, num_entities: int) -> None:
         self.num_entities = num_entities
+        # Shared bounded LRU instead of the old unbounded per-call dict:
+        # repeated analysis passes over the same relations now hit across
+        # calls, and worst-case residency is CACHE_ENTRIES rows.
+        self._score_cache = ScoreCache(self.CACHE_ENTRIES)
         self.train = train
         self.rules_by_head: Dict[int, List[Rule]] = defaultdict(list)
         for rule in rules:
@@ -130,16 +139,16 @@ class RuleBasedPredictor(ScoreComputeMixin):
         """Pointwise scores (used by analysis code, not by training).
 
         Triples sharing an ``(h, r)`` query are answered from one cached score
-        vector instead of re-running the rule instantiation per triple.
+        vector; the cache is the predictor-lifetime bounded LRU, so repeated
+        analysis passes reuse rows across calls instead of re-instantiating
+        the rules each time.
         """
         scores = np.zeros(len(heads))
-        cache: Dict[Tuple[int, int], np.ndarray] = {}
         for index, (h, r, t) in enumerate(zip(heads, relations, tails)):
             key = (int(h), int(r))
-            vector = cache.get(key)
-            if vector is None:
-                vector = self.score_all_tails(*key)
-                cache[key] = vector
+            vector, _ = self._score_cache.get_or_put(
+                key, lambda key=key: self.score_all_tails(*key)
+            )
             scores[index] = vector[int(t)]
         return scores
 
@@ -150,3 +159,8 @@ class RuleBasedPredictor(ScoreComputeMixin):
 
     def num_rules(self) -> int:
         return sum(len(rules) for rules in self.rules_by_head.values())
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/eviction counters of the score-vector cache."""
+        return self._score_cache.stats

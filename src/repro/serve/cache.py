@@ -1,0 +1,161 @@
+"""Bounded LRU cache of per-query score vectors, shared across subsystems.
+
+Two consumers existed before this module and each had its own ad-hoc cache:
+the rule predictor memoized repeated ``(h, r)`` score vectors in an
+**unbounded** per-call dict, and the serving design needs a hot-query cache
+in front of the micro-batching engine.  :class:`ScoreCache` is the shared
+generalization: a thread-safe LRU keyed by ``(side, a, b)`` score keys (any
+hashable works), with an eviction bound and hit/miss/eviction counters so
+operators can size it from observed traffic.
+
+The cache stores score *vectors* (or any value) by reference; entries are
+treated as immutable by every consumer — the engine slices and compares
+cached rows, it never writes into them.
+
+The module is a leaf (stdlib only) so the rule predictor can import it
+without dragging in the serving engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Default bound: plenty for the evaluator-shaped workloads (hundreds of
+#: unique queries) while capping worst-case residency at ``maxsize`` rows.
+DEFAULT_CACHE_ENTRIES = 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a :class:`ScoreCache`'s counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 on a cold cache)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ScoreCache:
+    """Thread-safe bounded LRU with hit/miss/eviction counters.
+
+    ``maxsize=0`` disables storage entirely (every ``get`` is a miss, ``put``
+    is a no-op) — callers never need to special-case "caching off".
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core operations ----------------------------------------------------
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed to most-recently-used; None on a miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting least-recently-used overflow."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_put(self, key: Hashable, factory) -> Tuple[Any, bool]:
+        """``(value, was_hit)``; on a miss the factory's value is inserted."""
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = factory()
+        self.put(key, value)
+        return value, False
+
+    # -- pickling -----------------------------------------------------------
+    # Scorers owning a cache (e.g. the rule predictor) ship to evaluation
+    # workers by pickle; the lock is recreated, entries and counters travel.
+    def __getstate__(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "maxsize": self.maxsize,
+                "entries": list(self._entries.items()),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.maxsize = state["maxsize"]
+        self._entries = OrderedDict(state["entries"])
+        self._lock = threading.Lock()
+        self._hits = state["hits"]
+        self._misses = state["misses"]
+        self._evictions = state["evictions"]
+
+    # -- bookkeeping --------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe lifetime traffic)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats
+        return (
+            f"ScoreCache(size={stats.size}/{stats.maxsize}, hits={stats.hits}, "
+            f"misses={stats.misses}, evictions={stats.evictions})"
+        )

@@ -23,6 +23,8 @@ MINIMAL_ARGV = {
     "ingest": ["ingest", "--input", "unused"],
     "train": ["train"],
     "experiment": ["experiment", "table1"],
+    "serve": ["serve", "--artifact", "unused"],
+    "query": ["query", "--anchor", "0", "--relation", "0"],
 }
 
 

@@ -1,0 +1,102 @@
+"""The versioned query wire schema: round trips, rejection paths, self-audit."""
+
+import pytest
+
+from repro.api import (
+    PROTOCOL_VERSION,
+    BatchResult,
+    Query,
+    QueryBatch,
+    TopKResult,
+    WireError,
+    queries_for_triples,
+)
+from repro.api.serving import WIRE_TYPES, wire_schema_mismatches
+
+
+# ------------------------------------------------------------------ round trips
+def test_query_wire_round_trip_preserves_every_field():
+    query = Query(side="head", anchor=5, relation=2, k=7, filtered=True, with_ranks=False)
+    assert Query.from_wire(query.to_wire()) == query
+
+
+def test_result_wire_round_trip_preserves_every_field():
+    result = TopKResult(
+        side="tail", anchor=1, relation=0,
+        entities=(4, 2, 9), scores=(0.5, 0.25, -1.0), ranks=(1.0, 2.5, 2.5),
+        filtered=True, cache_hit=True, batch_size=3,
+    )
+    assert TopKResult.from_wire(result.to_wire()) == result
+
+
+def test_batch_envelopes_round_trip_and_carry_the_version():
+    batch = QueryBatch.of(Query.tail(0, 1), Query.head(2, 3, k=4))
+    wire = batch.to_wire()
+    assert wire["version"] == PROTOCOL_VERSION
+    assert QueryBatch.from_wire(wire) == batch
+    response = BatchResult(
+        results=(TopKResult(side="tail", anchor=0, relation=1, entities=(1,), scores=(0.0,)),)
+    )
+    assert BatchResult.from_wire(response.to_wire()) == response
+
+
+# ------------------------------------------------------------------ rejection
+def test_unknown_fields_are_rejected():
+    wire = Query.tail(0, 1).to_wire()
+    wire["surprise"] = 1
+    with pytest.raises(WireError, match="surprise"):
+        Query.from_wire(wire)
+
+
+def test_missing_required_fields_are_rejected():
+    wire = Query.tail(0, 1).to_wire()
+    del wire["anchor"]
+    with pytest.raises(WireError, match="anchor"):
+        Query.from_wire(wire)
+
+
+def test_newer_protocol_versions_are_rejected():
+    wire = QueryBatch.of(Query.tail(0, 1)).to_wire()
+    wire["version"] = PROTOCOL_VERSION + 1
+    with pytest.raises(WireError, match="version"):
+        QueryBatch.from_wire(wire)
+
+
+def test_empty_batches_are_rejected():
+    with pytest.raises(WireError, match="quer"):
+        QueryBatch.from_wire({"version": PROTOCOL_VERSION, "queries": []})
+
+
+def test_invalid_enum_and_range_values_are_rejected():
+    wire = Query.tail(0, 1).to_wire()
+    wire["side"] = "middle"
+    with pytest.raises(WireError, match="side"):
+        Query.from_wire(wire)
+    wire = Query.tail(0, 1).to_wire()
+    wire["k"] = 0
+    with pytest.raises(WireError, match="k"):
+        Query.from_wire(wire)
+
+
+# ------------------------------------------------------------------ self-audit
+def test_wire_schema_matches_the_dataclasses():
+    """The declared wire schema and the dataclass fields may never drift."""
+    assert wire_schema_mismatches() == []
+    assert {wire_type.__name__ for wire_type in WIRE_TYPES} == {"Query", "TopKResult"}
+
+
+# ------------------------------------------------------------------ helpers
+def test_queries_for_triples_deduplicates_shared_anchors():
+    triples = [(0, 1, 2), (0, 1, 3), (4, 1, 2)]   # (h=0,r=1) and (r=1,t=2) repeat
+    queries = queries_for_triples(triples, k=5)
+    assert len(queries) == len(set(queries))
+    tails = [q for q in queries if q.side == "tail"]
+    heads = [q for q in queries if q.side == "head"]
+    assert {(q.anchor, q.relation) for q in tails} == {(0, 1), (4, 1)}
+    assert {(q.relation, q.anchor) for q in heads} == {(1, 2), (1, 3)}
+    assert all(q.k == 5 for q in queries)
+
+
+def test_queries_for_triples_single_side():
+    queries = queries_for_triples([(0, 1, 2)], k=3, sides=("tail",))
+    assert len(queries) == 1 and queries[0].side == "tail"

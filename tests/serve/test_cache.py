@@ -1,0 +1,114 @@
+"""The shared bounded LRU score cache: semantics, counters, pickling."""
+
+import pickle
+import threading
+
+import numpy as np
+
+from repro.serve import ScoreCache
+
+
+def test_get_miss_then_put_then_hit_counts():
+    cache = ScoreCache(maxsize=4)
+    assert cache.get(("tail", 1, 2)) is None
+    cache.put(("tail", 1, 2), np.arange(3))
+    value = cache.get(("tail", 1, 2))
+    assert np.array_equal(value, np.arange(3))
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 0)
+    assert stats.size == 1 and stats.maxsize == 4
+    assert stats.lookups == 2 and stats.hit_rate == 0.5
+
+
+def test_eviction_is_least_recently_used_and_counted():
+    cache = ScoreCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refresh "a": "b" is now LRU
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+
+
+def test_put_refreshes_existing_key_without_eviction():
+    cache = ScoreCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)                  # refresh, not insert
+    assert cache.stats.evictions == 0
+    cache.put("c", 3)                   # evicts "b", the stale entry
+    assert "a" in cache and cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_maxsize_zero_disables_storage_entirely():
+    cache = ScoreCache(maxsize=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert cache.get("a") is None       # every lookup stays a miss
+    assert len(cache) == 0
+    stats = cache.stats
+    assert stats.misses == 2 and stats.hits == 0 and stats.evictions == 0
+
+
+def test_get_or_put_reports_hit_state_and_calls_factory_once():
+    cache = ScoreCache(maxsize=4)
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "value"
+
+    value, was_hit = cache.get_or_put("k", factory)
+    assert (value, was_hit) == ("value", False)
+    value, was_hit = cache.get_or_put("k", factory)
+    assert (value, was_hit) == ("value", True)
+    assert len(calls) == 1
+
+
+def test_clear_drops_entries_but_keeps_lifetime_counters():
+    cache = ScoreCache(maxsize=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_cache_pickles_with_entries_and_counters():
+    cache = ScoreCache(maxsize=3)
+    cache.put("a", np.arange(4))
+    cache.get("a")
+    cache.get("missing")
+    restored = pickle.loads(pickle.dumps(cache))
+    assert np.array_equal(restored.get("a"), np.arange(4))
+    stats = restored.stats
+    assert stats.misses == 1 and stats.maxsize == 3
+    # The restored lock is functional: operations still work.
+    restored.put("b", 2)
+    assert restored.get("b") == 2
+
+
+def test_concurrent_access_is_safe():
+    cache = ScoreCache(maxsize=16)
+    errors = []
+
+    def worker(offset):
+        try:
+            for i in range(200):
+                cache.put((offset, i % 20), i)
+                cache.get((offset, (i + 3) % 20))
+        except Exception as error:  # pragma: no cover - only on race bugs
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = cache.stats
+    assert stats.lookups == 4 * 200
+    assert len(cache) <= 16
