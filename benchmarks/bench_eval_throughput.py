@@ -32,8 +32,6 @@ requires pytest-benchmark.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 import time
@@ -45,6 +43,7 @@ import numpy as np
 from repro.eval import LinkPredictionEvaluator, multiprocessing_available
 from repro.kg import Dataset, TripleSet, Vocabulary
 from repro.models import ModelConfig, make_model
+from repro.telemetry.bench import bench_main
 
 NUM_ENTITIES = 1500
 NUM_RELATIONS = 40
@@ -312,24 +311,9 @@ def _print_report(report: dict) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run both measurements, write the JSON report, enforce the gates."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--json",
-        default=DEFAULT_JSON_PATH,
-        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    return bench_main(
+        build_report, _print_report, DEFAULT_JSON_PATH, __doc__.splitlines()[0], argv
     )
-    args = parser.parse_args(argv)
-    report, passed = build_report()
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    _print_report(report)
-    print(f"\nreport written to {args.json}")
-    if not passed:
-        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
-        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def test_batched_evaluation_is_faster():

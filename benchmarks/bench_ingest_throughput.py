@@ -38,9 +38,7 @@ what CI does) or via ``pytest benchmarks/bench_ingest_throughput.py``.
 
 from __future__ import annotations
 
-import argparse
 import gzip
-import json
 import shutil
 import sys
 import tempfile
@@ -59,6 +57,7 @@ from repro.kg import (
     residency_bound,
     write_triples_tsv,
 )
+from repro.telemetry.bench import bench_main
 
 NUM_ENTITIES = 4000
 NUM_RELATIONS = 36
@@ -243,24 +242,9 @@ def _print_report(report: dict) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the measurements, write the JSON report, enforce the gates."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--json",
-        default=DEFAULT_JSON_PATH,
-        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    return bench_main(
+        build_report, _print_report, DEFAULT_JSON_PATH, __doc__.splitlines()[0], argv
     )
-    args = parser.parse_args(argv)
-    report, passed = build_report()
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    _print_report(report)
-    print(f"\nreport written to {args.json}")
-    if not passed:
-        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
-        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def test_streaming_ingest_gates_pass():

@@ -29,8 +29,6 @@ Run standalone (``python benchmarks/bench_score_kernels.py``) or via
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 import time
@@ -43,6 +41,7 @@ from repro.backend import available_backends
 from repro.eval import LinkPredictionEvaluator
 from repro.kg import Dataset, TripleSet, Vocabulary
 from repro.models import ModelConfig, make_model
+from repro.telemetry.bench import bench_main
 
 NUM_ENTITIES = 6000
 NUM_RELATIONS = 30
@@ -256,24 +255,9 @@ def _print_report(report: dict) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run all measurements, write the JSON report, enforce the gate."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--json",
-        default=DEFAULT_JSON_PATH,
-        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    return bench_main(
+        build_report, _print_report, DEFAULT_JSON_PATH, __doc__.splitlines()[0], argv
     )
-    args = parser.parse_args(argv)
-    report, passed = build_report()
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    _print_report(report)
-    print(f"\nreport written to {args.json}")
-    if not passed:
-        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
-        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def test_fused_path_is_not_slower():

@@ -30,9 +30,7 @@ Run standalone (``python benchmarks/bench_serving_latency.py``) or via
 
 from __future__ import annotations
 
-import argparse
 import asyncio
-import json
 import os
 import statistics
 import sys
@@ -45,6 +43,7 @@ import numpy as np
 from repro.api.serving import Query
 from repro.models import ModelConfig, make_model
 from repro.serve import ModelArtifact, QueryEngine, load_model, topk_row
+from repro.telemetry.bench import bench_main
 
 NUM_ENTITIES = 20_000
 NUM_RELATIONS = 30
@@ -270,24 +269,9 @@ def _print_report(report: dict) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run all measurements, write the JSON report, enforce the gates."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--json",
-        default=DEFAULT_JSON_PATH,
-        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    return bench_main(
+        build_report, _print_report, DEFAULT_JSON_PATH, __doc__.splitlines()[0], argv
     )
-    args = parser.parse_args(argv)
-    report, passed = build_report()
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    _print_report(report)
-    print(f"\nreport written to {args.json}")
-    if not passed:
-        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
-        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def test_warm_engine_beats_cold_start():

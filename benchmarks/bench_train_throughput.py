@@ -28,8 +28,6 @@ what CI does) or via ``pytest benchmarks/bench_train_throughput.py``.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 import time
@@ -39,6 +37,7 @@ import numpy as np
 
 from repro.kg import Dataset, TripleSet, Vocabulary
 from repro.models import ModelConfig, TrainingConfig, TrainingRun, make_model
+from repro.telemetry.bench import bench_main
 
 NUM_ENTITIES = 15_000           # the gate requires >= 10k (FB15k is ~15k)
 NUM_RELATIONS = 50
@@ -180,24 +179,9 @@ def _print_report(report: dict) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the measurements, write the JSON report, enforce the gate."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--json",
-        default=DEFAULT_JSON_PATH,
-        help=f"machine-readable report path (default: {DEFAULT_JSON_PATH})",
+    return bench_main(
+        build_report, _print_report, DEFAULT_JSON_PATH, __doc__.splitlines()[0], argv
     )
-    args = parser.parse_args(argv)
-    report, passed = build_report()
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    _print_report(report)
-    print(f"\nreport written to {args.json}")
-    if not passed:
-        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
-        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def test_sparse_training_is_faster_and_equivalent():

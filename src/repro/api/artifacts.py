@@ -16,6 +16,7 @@ key                        artifact
 ``("scorer", m, d)``       trained model / rule / baseline scorer
 ``("evaluation", m, d)``   :class:`repro.eval.ranking.EvaluationResult`
 ``("ingest_report", name)``:class:`repro.kg.streaming.IngestReport`
+``("telemetry", "trace")`` span records of the last traced ``Runner.run``
 ========================== ==================================================
 
 A store is stamped with the :meth:`~repro.api.spec.ExperimentSpec.fingerprint`

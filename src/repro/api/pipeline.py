@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry import configure as configure_telemetry
+from ..telemetry import get_telemetry, profile_block, write_trace_jsonl
 from . import schema
 from .artifacts import ArtifactStore, artifact_key_string
 from .spec import ExperimentSpec, SpecValidationError
@@ -220,6 +222,9 @@ class RunReport:
     rows: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
     #: Rendered human-readable report (the ``report`` stage's output).
     text: str = ""
+    #: Observability section (None when telemetry was off): the metrics
+    #: snapshot, span count, per-stage profiles and the trace destination.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def stage(self, name: str) -> StageReport:
         for report in self.stages:
@@ -292,11 +297,29 @@ class Runner:
             selected = [stage for stage in schema.STAGES if stage in set(stages)]
         report = RunReport(spec_name=self.spec.name, fingerprint=self.store.fingerprint)
         self._selected_stages = tuple(selected)
+        # Enable-never-disable: the spec can switch telemetry on, but a spec
+        # with it off must not silence a session someone enabled explicitly.
+        if (
+            self.config.telemetry_enabled
+            or self.config.telemetry_trace_path
+            or self.config.telemetry_profile
+        ):
+            configure_telemetry(
+                enabled=True, profile=self.config.telemetry_profile or None
+            )
+        telemetry = get_telemetry()
+        profiles: Dict[str, Dict[str, Any]] = {}
         for stage_name in selected:
             before = set(self.store.keys())
             started = time.perf_counter()
             logger.info("[%s] stage %s ...", self.spec.name, stage_name)
-            getattr(self, f"_stage_{stage_name}")(report)
+            with telemetry.span(f"pipeline.{stage_name}", spec=self.spec.name):
+                if telemetry.enabled and telemetry.profile:
+                    with profile_block(trace_allocations=True) as profile:
+                        getattr(self, f"_stage_{stage_name}")(report)
+                    profiles[stage_name] = profile
+                else:
+                    getattr(self, f"_stage_{stage_name}")(report)
             stage_report = StageReport(
                 name=stage_name,
                 seconds=time.perf_counter() - started,
@@ -313,6 +336,19 @@ class Runner:
                 stage_report.seconds,
                 len(stage_report.produced),
             )
+        if telemetry.enabled:
+            records = telemetry.trace_records()
+            self.store.put(("telemetry", "trace"), records)
+            report.telemetry = {
+                "metrics": telemetry.snapshot(),
+                "span_count": len(records),
+            }
+            if profiles:
+                report.telemetry["profile"] = profiles
+            if self.config.telemetry_trace_path:
+                trace_path = write_trace_jsonl(records, self.config.telemetry_trace_path)
+                report.telemetry["trace_path"] = str(trace_path)
+                logger.info("[%s] trace written to %s", self.spec.name, trace_path)
         return report
 
     # -- source materialization ----------------------------------------------------
@@ -372,11 +408,19 @@ class Runner:
     # -- stages ------------------------------------------------------------------
     def _stage_ingest(self, report: RunReport) -> None:
         """Materialize every dataset: built-in replicas and the TSV source."""
+        telemetry = get_telemetry()
         self._ensure_source()
         derived = self._derived_name()
         for name in self.dataset_names():
             if name != derived:
-                ensure_dataset(self.store, self.config, name)
+                dataset = ensure_dataset(self.store, self.config, name)
+                # Generated replicas never pass through the streaming
+                # pipeline (which records the ingest.chunk_* series), so the
+                # stage accounts for their triples here.
+                telemetry.counter("ingest.datasets").add(1)
+                telemetry.counter("ingest.triples").add(
+                    len(dataset.train) + len(dataset.valid) + len(dataset.test)
+                )
 
     def _audit_dataset(self, name: str) -> None:
         # Construction always uses the *global* config (overrides patch the

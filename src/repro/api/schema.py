@@ -337,12 +337,39 @@ SERVING = Section(
     ),
 )
 
+TELEMETRY = Section(
+    "telemetry",
+    "Observability: tracing spans, the metrics registry and profiling hooks.",
+    (
+        Knob(
+            "enabled", bool, False,
+            "collect tracing spans and metrics across ingest/train/eval/serve "
+            "(off = shared no-op singletons, near-zero overhead)",
+            flag="--telemetry",
+        ),
+        Knob(
+            "trace_path", str, None,
+            "write the span stream as JSON lines to this path after a run "
+            "(implies --telemetry)",
+            optional=True, flag="--trace-out",
+        ),
+        Knob(
+            "profile", bool, False,
+            "opt-in per-stage profiling: wall/cpu timers, peak RSS and "
+            "tracemalloc allocation peaks (implies --telemetry)",
+        ),
+    ),
+)
+
 #: Every *experiment* section, in the order spec files and docs present them.
 #: ``SERVING`` is deliberately not an experiment section: serving knobs shape
 #: a long-lived process, not a reproducible experiment declaration, so they
 #: get CLI flags and environment overrides but no place in spec files (and
-#: therefore never perturb spec fingerprints).
-SECTIONS: Tuple[Section, ...] = (DATASET, INGEST, AUDIT, MODEL, TRAINING, EVALUATION)
+#: therefore never perturb spec fingerprints).  ``TELEMETRY`` *is* a spec
+#: section (observability settings belong in a run declaration) but is
+#: excluded from fingerprints by ``ExperimentSpec.fingerprint`` — watching a
+#: run never changes its artifact identity.
+SECTIONS: Tuple[Section, ...] = (DATASET, INGEST, AUDIT, MODEL, TRAINING, EVALUATION, TELEMETRY)
 
 SECTIONS_BY_NAME: Dict[str, Section] = {section.name: section for section in SECTIONS}
 SECTIONS_BY_NAME[SERVING.name] = SERVING
@@ -368,3 +395,4 @@ MODEL_DEFAULTS = MODEL.defaults()
 TRAINING_DEFAULTS = TRAINING.defaults()
 EVALUATION_DEFAULTS = EVALUATION.defaults()
 SERVING_DEFAULTS = SERVING.defaults()
+TELEMETRY_DEFAULTS = TELEMETRY.defaults()

@@ -54,6 +54,7 @@ __all__ = [
     "ModelSectionSpec",
     "TrainingSpec",
     "EvaluationSpec",
+    "TelemetrySpec",
     "SpecError",
     "SpecValidationError",
     "spec_template",
@@ -149,6 +150,13 @@ class EvaluationSpec:
     score_block_budget: Optional[int] = None
 
 
+@dataclass
+class TelemetrySpec:
+    enabled: bool = schema.TELEMETRY_DEFAULTS["enabled"]
+    trace_path: Optional[str] = None
+    profile: bool = schema.TELEMETRY_DEFAULTS["profile"]
+
+
 #: ExperimentSpec attribute name per schema section (identical by design).
 _SECTION_CLASSES = {
     "dataset": DatasetSpec,
@@ -157,6 +165,7 @@ _SECTION_CLASSES = {
     "model": ModelSectionSpec,
     "training": TrainingSpec,
     "evaluation": EvaluationSpec,
+    "telemetry": TelemetrySpec,
 }
 
 _TOP_LEVEL_KEYS = ("name", "datasets", "models", "include_amie", "stages")
@@ -179,6 +188,7 @@ class ExperimentSpec:
     model: ModelSectionSpec = field(default_factory=ModelSectionSpec)
     training: TrainingSpec = field(default_factory=TrainingSpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     #: Per-model / per-dataset patches: ``{"models": {"ConvE": {"model":
     #: {"dim": 8}}}, "datasets": {"YAGO3-10-like": {"audit": {"theta": 0.7}}}}``.
     #: Patch sections are restricted to :data:`schema.OVERRIDABLE_SECTIONS`.
@@ -273,8 +283,15 @@ class ExperimentSpec:
 
     # -- identity ---------------------------------------------------------------------
     def fingerprint(self) -> str:
-        """A stable 16-hex-digit digest of the full spec (keys the artifact store)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """A stable 16-hex-digit digest of the spec (keys the artifact store).
+
+        The ``telemetry`` section is excluded: observability settings change
+        what a run *records*, never what it *computes*, so tracing a spec
+        must not re-key (and thereby rebuild) its artifacts.
+        """
+        data = self.to_dict()
+        data.pop("telemetry", None)
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # -- validation -------------------------------------------------------------------
@@ -322,6 +339,7 @@ def _experiment_config_kwargs(merged: Dict[str, Dict[str, Any]]) -> Dict[str, An
     """Map merged section values onto ``ExperimentConfig`` keyword arguments."""
     dataset, ingest, audit = merged["dataset"], merged["ingest"], merged["audit"]
     model, training, evaluation = merged["model"], merged["training"], merged["evaluation"]
+    telemetry = merged["telemetry"]
     return dict(
         scale=dataset["scale"],
         seed=dataset["seed"],
@@ -352,6 +370,9 @@ def _experiment_config_kwargs(merged: Dict[str, Dict[str, Any]]) -> Dict[str, An
         ingest_max_queue_chunks=ingest["max_queue_chunks"],
         audit_theta=audit["theta"],
         yago_theta=audit["yago_theta"],
+        telemetry_enabled=telemetry["enabled"],
+        telemetry_trace_path=telemetry["trace_path"],
+        telemetry_profile=telemetry["profile"],
     )
 
 

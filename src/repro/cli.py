@@ -230,11 +230,36 @@ def _resolve_dataset(spec: str, scale: str, seed: int) -> Dataset:
     return _build_named_dataset(spec, scale, seed)
 
 
+class _StderrLogHandler(logging.StreamHandler):
+    """A stream handler bound to the *current* ``sys.stderr``.
+
+    ``StreamHandler(sys.stderr)`` captures the stream object once, which goes
+    stale when an embedding application (or a test harness) swaps
+    ``sys.stderr``; resolving it per emit keeps progress output on whatever
+    stderr is live at that moment.
+    """
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns it; ignore.
+        pass
+
+
 def _configure_logging(verbose: bool, quiet: bool) -> None:
     """Map the CLI verbosity flags onto the ``repro`` logger level."""
     level = logging.WARNING if quiet else (logging.DEBUG if verbose else logging.INFO)
-    logging.basicConfig(level=level, format="%(message)s")
-    logging.getLogger("repro").setLevel(level)
+    logger = logging.getLogger("repro")
+    # The logger gets its own stderr handler rather than logging.basicConfig:
+    # basicConfig is silently a no-op once the root logger has any handler
+    # (embedding applications, test harnesses), which would swallow progress.
+    if not any(isinstance(handler, _StderrLogHandler) for handler in logger.handlers):
+        handler = _StderrLogHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
 
 
 # ---------------------------------------------------------------------------- spec/run
@@ -256,6 +281,15 @@ def command_run(args: argparse.Namespace) -> int:
 
     _configure_logging(args.verbose, args.quiet)
     spec = _load_spec_or_exit(args.spec)
+    # The generated [telemetry] flags overlay the loaded spec.  Switches and
+    # the trace path can only turn observability *on* from the CLI — an absent
+    # flag (False / None) leaves the spec's own declaration alone.
+    for (section_name, knob_name), value in _parsed_knob_values(args, "run").items():
+        if value is None or value is False:
+            continue
+        setattr(getattr(spec, section_name), knob_name, value)
+    if spec.telemetry.trace_path or spec.telemetry.profile:
+        spec.telemetry.enabled = True
     runner = Runner(spec)
     stages = None
     if args.stages:
@@ -281,6 +315,15 @@ def command_run(args: argparse.Namespace) -> int:
         ],
         title="Stages",
     ))
+    if report.telemetry:
+        metrics = report.telemetry.get("metrics", {})
+        series = sum(len(group) for group in metrics.values())
+        print(
+            f"telemetry: {report.telemetry.get('span_count', 0)} spans, "
+            f"{series} metric series"
+        )
+        if report.telemetry.get("trace_path"):
+            print(f"trace written to {report.telemetry['trace_path']}")
     if report.text:
         print()
         print(report.text)
@@ -394,15 +437,21 @@ def command_audit(args: argparse.Namespace) -> int:
 
 def command_ingest(args: argparse.Namespace) -> int:
     """Stream-ingest a TSV directory: audit, optionally de-redundify and export."""
+    _configure_logging(args.verbose, args.quiet)
     directory = Path(args.input)
     audit_index = StreamingPairIndexBuilder()
+    # Progress goes through the logging module (not a raw stderr print), so
+    # --quiet silences it exactly like every other subcommand's progress.
+    logger = logging.getLogger("repro.ingest")
 
     def report_progress(progress) -> None:
-        print(
-            f"[ingest] {progress.split}: {progress.triples} triples in "
-            f"{progress.chunks} chunks (resident {progress.resident_triples}, "
-            f"peak {progress.peak_resident_triples})",
-            file=sys.stderr,
+        logger.info(
+            "[ingest] %s: %d triples in %d chunks (resident %d, peak %d)",
+            progress.split,
+            progress.triples,
+            progress.chunks,
+            progress.resident_triples,
+            progress.peak_resident_triples,
         )
 
     try:
@@ -526,6 +575,13 @@ def command_serve(args: argparse.Namespace) -> int:
     from .serve import ModelArtifact, QueryEngine, known_completion_index
     from .serve.server import serve_forever
 
+    if args.telemetry:
+        # Enabled before the engine exists: every request, flush and cache
+        # operation lands in the registry the `stats` op snapshots.
+        from .telemetry import configure as configure_telemetry
+
+        configure_telemetry(enabled=True)
+
     try:
         artifact = ModelArtifact.load(args.artifact)
     except Exception as error:
@@ -561,7 +617,7 @@ def command_serve(args: argparse.Namespace) -> int:
 def command_query(args: argparse.Namespace) -> int:
     """Ask a running ``repro-kgc serve`` process for top-k completions."""
     from .api.serving import Query, QueryBatch, WireError
-    from .serve.server import query_server
+    from .serve.server import query_server, request_over_socket
 
     query = Query(
         side=args.side,
@@ -580,7 +636,18 @@ def command_query(args: argparse.Namespace) -> int:
     if args.json:
         import json as json_module
 
-        print(json_module.dumps(response.to_wire(), indent=2))
+        envelope = response.to_wire()
+        # The machine-readable surface also carries the server's counters and
+        # (when the server runs with --telemetry) its metrics snapshot.
+        try:
+            stats_reply = request_over_socket(args.host, args.port, {"op": "stats"})
+        except (ConnectionError, OSError, ValueError):
+            stats_reply = {}
+        if "stats" in stats_reply:
+            envelope["stats"] = stats_reply["stats"]
+        if "telemetry" in stats_reply:
+            envelope["telemetry"] = stats_reply["telemetry"]
+        print(json_module.dumps(envelope, indent=2))
         return 0
     for result in response.results:
         rows = []
@@ -650,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"comma-separated stage subset (default: the spec's; from: {', '.join(schema.STAGES)})",
     )
+    _add_schema_flags(run, "run", schema.TELEMETRY)
     add_verbosity(run)
     run.set_defaults(handler=command_run)
 
@@ -693,7 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--output", default=None, help="re-export the (de-redundified) dataset here")
     ingest.add_argument(
-        "--progress", action="store_true", help="report pipeline progress on stderr"
+        "--progress",
+        action="store_true",
+        help="report pipeline progress through the 'repro.ingest' logger",
     )
     ingest.add_argument(
         "--progress-every",
@@ -701,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=50,
         help="chunks between progress reports",
     )
+    add_verbosity(ingest)
     ingest.set_defaults(handler=command_ingest)
 
     train = subparsers.add_parser("train", help="train and evaluate one embedding model")
@@ -742,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
         serve, "serve", schema.SERVING,
         ("host", "port", "max_batch", "max_delay_ms", "cache_entries"),
     )
+    _add_schema_flags(serve, "serve", schema.TELEMETRY, ("enabled",))
     add_verbosity(serve)
     serve.set_defaults(handler=command_serve)
 

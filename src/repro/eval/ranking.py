@@ -56,7 +56,7 @@ from ..api.schema import EVALUATION_DEFAULTS
 from ..kg.dataset import Dataset
 from ..kg.triples import Triple, TripleSet
 from .metrics import MetricPair, RankingMetrics, metrics_from_rank_pairs
-from .sharding import ShardEntry, evaluate_shards, rank_shard
+from .sharding import ShardEntry, evaluate_shards
 
 #: Unique queries scored per batched scorer call; bounds the (B, E) score
 #: matrix so large-scale evaluations stay memory-bounded.  The canonical
@@ -337,16 +337,13 @@ class LinkPredictionEvaluator:
             if side in sides:
                 work[side], positions[side] = self._side_work(triples, side)
         known = {"tail": self._known_tails, "head": self._known_heads}
-        if workers > 1:
-            side_ranks = evaluate_shards(
-                scorer, work, known, workers, shards, batch_size,
-                self.mp_start_method, block_budget,
-            )
-        else:
-            side_ranks = {
-                side: rank_shard(scorer, entries, side, known[side], batch_size, block_budget)
-                for side, entries in work.items()
-            }
+        # ``workers <= 1`` takes the exact in-process path inside
+        # evaluate_shards (no pool is ever created), so both worker counts
+        # share one instrumented entry point.
+        side_ranks = evaluate_shards(
+            scorer, work, known, workers, shards, batch_size,
+            self.mp_start_method, block_budget,
+        )
         scattered = {
             side: self._scatter_ranks(side_ranks[side], positions[side], len(triples))
             for side in work

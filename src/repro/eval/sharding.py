@@ -41,11 +41,12 @@ materializing path at any block budget.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..backend import ArrayBackend, get_backend
+from ..telemetry import Telemetry, get_telemetry, scoped
 
 #: A deduplicated link-prediction query: ``(head, relation)`` on the tail
 #: side, ``(relation, tail)`` on the head side.
@@ -57,7 +58,7 @@ ShardEntry = Tuple[Query, np.ndarray]
 
 #: Per-worker state installed by :func:`_init_worker`; lives in the worker
 #: process only.
-_WORKER_STATE: Optional[Tuple[object, Dict[str, Dict[Query, np.ndarray]], int]] = None
+_WORKER_STATE: Optional[Tuple[Any, ...]] = None
 
 
 # ---------------------------------------------------------------------------- planning
@@ -318,6 +319,7 @@ def _init_worker(
     known: Dict[str, Dict[Query, np.ndarray]],
     eval_batch_size: int,
     score_block_budget: Optional[int] = None,
+    telemetry_enabled: bool = False,
 ) -> None:
     """Pool initializer: install the scorer and filter index once per worker."""
     global _WORKER_STATE
@@ -325,17 +327,58 @@ def _init_worker(
 
     if isinstance(scorer, ArtifactScorerRef):
         scorer = scorer.resolve()
-    _WORKER_STATE = (scorer, known, eval_batch_size, score_block_budget)
+    _WORKER_STATE = (scorer, known, eval_batch_size, score_block_budget, telemetry_enabled)
 
 
-def _rank_shard_task(task: Tuple[str, List[ShardEntry]]) -> Tuple[np.ndarray, np.ndarray]:
-    """Worker entry point: rank one shard against the installed state."""
+def _rank_one_shard(
+    telemetry: Telemetry,
+    scorer,
+    side: str,
+    shard_index: int,
+    entries: Sequence[ShardEntry],
+    known: Dict[Query, np.ndarray],
+    eval_batch_size: int,
+    score_block_budget: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One shard's ranks, wrapped in the shared span/counter instrumentation.
+
+    :func:`rank_shard` itself stays deliberately un-instrumented — it is the
+    telemetry-free baseline of the overhead benchmark — so both the in-process
+    path and the pool workers record their shards here instead.
+    """
+    with telemetry.span(
+        "eval.rank_shard", side=side, shard=shard_index, entries=len(entries)
+    ):
+        raw, filtered = rank_shard(
+            scorer, entries, side, known, eval_batch_size, score_block_budget
+        )
+    telemetry.counter("eval.shards").add(1)
+    telemetry.counter("eval.entries").add(len(entries))
+    telemetry.counter("eval.ranked_targets").add(len(raw))
+    return raw, filtered
+
+
+def _rank_shard_task(
+    task: Tuple[str, int, List[ShardEntry]],
+) -> Tuple[np.ndarray, np.ndarray, Optional[Dict[str, Any]]]:
+    """Worker entry point: rank one shard against the installed state.
+
+    Returns the shard's rank arrays plus a telemetry payload (``None`` when
+    telemetry is off).  Each task runs under its own fresh scoped
+    :class:`Telemetry` — workers persist across tasks, so reusing one
+    worker-global registry would double-count a shard's metrics into every
+    later payload from the same worker.
+    """
     assert _WORKER_STATE is not None, "worker used before initialization"
-    scorer, known, eval_batch_size, score_block_budget = _WORKER_STATE
-    side, entries = task
-    return rank_shard(
-        scorer, entries, side, known.get(side, {}), eval_batch_size, score_block_budget
-    )
+    scorer, known, eval_batch_size, score_block_budget, telemetry_enabled = _WORKER_STATE
+    side, shard_index, entries = task
+    with scoped(Telemetry(enabled=telemetry_enabled)) as telemetry:
+        raw, filtered = _rank_one_shard(
+            telemetry, scorer, side, shard_index, entries,
+            known.get(side, {}), eval_batch_size, score_block_budget,
+        )
+        payload = telemetry.worker_payload() if telemetry_enabled else None
+    return raw, filtered, payload
 
 
 def evaluate_shards(
@@ -357,34 +400,44 @@ def evaluate_shards(
     without multiprocessing support all take the exact in-process path.
     """
     n_workers = max(1, int(n_workers))
+    telemetry = get_telemetry()
     total_entries = sum(len(entries) for entries in work.values())
     if n_workers == 1 or total_entries == 0 or not multiprocessing_available():
         return {
-            side: rank_shard(
-                scorer, entries, side, known.get(side, {}), eval_batch_size,
-                score_block_budget,
+            side: _rank_one_shard(
+                telemetry, scorer, side, 0, entries, known.get(side, {}),
+                eval_batch_size, score_block_budget,
             )
             for side, entries in work.items()
         }
-    tasks: List[Tuple[str, List[ShardEntry]]] = []
+    tasks: List[Tuple[str, int, List[ShardEntry]]] = []
     for side, entries in work.items():
-        for start, stop in plan_shards(len(entries), n_workers, shard_size):
-            tasks.append((side, list(entries[start:stop])))
+        for index, (start, stop) in enumerate(
+            plan_shards(len(entries), n_workers, shard_size)
+        ):
+            tasks.append((side, index, list(entries[start:stop])))
     context = multiprocessing.get_context(resolve_start_method(start_method))
     processes = min(n_workers, len(tasks))
     with context.Pool(
         processes=processes,
         initializer=_init_worker,
-        initargs=(_shippable_scorer(scorer), known, eval_batch_size, score_block_budget),
+        initargs=(
+            _shippable_scorer(scorer), known, eval_batch_size, score_block_budget,
+            telemetry.enabled,
+        ),
     ) as pool:
         # Pool.map preserves task submission order: the merge below is a
         # deterministic concatenation, independent of completion order.
         shard_results = pool.map(_rank_shard_task, tasks)
     raw_parts: Dict[str, List[np.ndarray]] = {side: [] for side in work}
     filtered_parts: Dict[str, List[np.ndarray]] = {side: [] for side in work}
-    for (side, _), (raw, filtered) in zip(tasks, shard_results):
+    for (side, _, _), (raw, filtered, payload) in zip(tasks, shard_results):
         raw_parts[side].append(raw)
         filtered_parts[side].append(filtered)
+        # Metric merges are exact (integer counts, rational sums) and
+        # order-independent; absorbing in submission order keeps the span
+        # stream deterministic too.
+        telemetry.absorb_worker_payload(payload)
     return {
         side: (
             np.concatenate(raw_parts[side]) if raw_parts[side] else np.empty(0),

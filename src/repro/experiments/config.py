@@ -47,6 +47,7 @@ from ..api.schema import (
     FB15K237,
     INGEST_DEFAULTS,
     MODEL_DEFAULTS,
+    TELEMETRY_DEFAULTS,
     TRAINING_DEFAULTS,
     WN18,
     WN18RR,
@@ -139,6 +140,14 @@ class ExperimentConfig:
     #: Redundancy thresholds used for the YAGO-style analysis (the paper keeps
     #: 0.8 for FB15k but treats the 0.75-overlap YAGO pair as duplicates).
     yago_theta: float = AUDIT_DEFAULTS["yago_theta"]
+    #: Collect tracing spans and metrics across every stage (see
+    #: :mod:`repro.telemetry`; off = near-zero-overhead no-op singletons).
+    telemetry_enabled: bool = TELEMETRY_DEFAULTS["enabled"]
+    #: Where ``Runner`` writes the JSON-lines span stream after a run
+    #: (None = keep the trace in the artifact store only).
+    telemetry_trace_path: Optional[str] = TELEMETRY_DEFAULTS["trace_path"]
+    #: Opt-in per-stage profiling (wall/cpu timers, RSS and allocation peaks).
+    telemetry_profile: bool = TELEMETRY_DEFAULTS["profile"]
 
     def model_config(self, model_name: str) -> ModelConfig:
         extra: Dict[str, float] = {}

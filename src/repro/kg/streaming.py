@@ -52,6 +52,7 @@ from .triples import Triple, TripleSet
 from .vocabulary import Vocabulary
 
 from ..api.schema import INGEST_DEFAULTS
+from ..telemetry import SIZE_BUCKETS, get_telemetry
 
 #: Labelled triples per pipeline chunk (the unit of parsing, queueing, interning).
 #: The canonical value lives in the knob schema (``ingest.chunk_size``).
@@ -181,6 +182,9 @@ def bounded_chunk_pipeline(
         raise ValueError(f"max_queue_chunks must be >= 1, got {max_queue_chunks}")
     queue: Queue = Queue(maxsize=max_queue_chunks)
     stop = threading.Event()
+    telemetry = get_telemetry()
+    stalls = telemetry.counter("ingest.backpressure_stalls")
+    queue_depth = telemetry.gauge("ingest.queue_depth_chunks")
 
     def put(item: object) -> bool:
         """Blocking put that gives up when the consumer went away."""
@@ -189,6 +193,8 @@ def bounded_chunk_pipeline(
                 queue.put(item, timeout=0.05)
                 return True
             except Full:
+                # One stall tick per 50ms the bounded queue held the reader.
+                stalls.add(1)
                 continue
         return False
 
@@ -216,6 +222,7 @@ def bounded_chunk_pipeline(
                 break
             if isinstance(item, _Failure):
                 raise item.error
+            queue_depth.set(queue.qsize())
             yield item
     finally:
         stop.set()
@@ -322,29 +329,43 @@ def ingest_dataset(
     builder = StreamingDatasetBuilder(dataset_name, metadata)
     stats = StreamingStatisticsBuilder(dataset_name)
     monitor = PipelineMonitor()
+    telemetry = get_telemetry()
+    chunk_counter = telemetry.counter("ingest.chunks")
+    triple_counter = telemetry.counter("ingest.triples")
+    residency_gauge = telemetry.gauge("ingest.resident_triples")
+    chunk_sizes = telemetry.histogram("ingest.chunk_triples", bounds=SIZE_BUCKETS)
+    chunk_seconds = telemetry.histogram("ingest.chunk_seconds")
 
     start = time.perf_counter()
     for split in SPLIT_ORDER:
         path = split_file(directory, split, gzipped)
         if path is None:
             continue
-        source = stream_triple_chunks(path, chunk_size, gzipped, monitor)
-        for chunk in bounded_chunk_pipeline(source, max_queue_chunks):
-            added = builder.add_chunk(split, chunk)
-            stats.observe(split, added)
-            for observe in observers:
-                observe(split, added)
-            monitor.consumed(len(chunk))
-            if progress is not None and monitor.total_chunks % progress_every_chunks == 0:
-                progress(
-                    IngestProgress(
-                        split=split,
-                        chunks=monitor.total_chunks,
-                        triples=monitor.total_triples,
-                        resident_triples=monitor.resident_triples,
-                        peak_resident_triples=monitor.peak_resident_triples,
+        with telemetry.span("ingest.split", dataset=dataset_name, split=split):
+            source = stream_triple_chunks(path, chunk_size, gzipped, monitor)
+            for chunk in bounded_chunk_pipeline(source, max_queue_chunks):
+                chunk_started = time.perf_counter() if telemetry.enabled else 0.0
+                added = builder.add_chunk(split, chunk)
+                stats.observe(split, added)
+                for observe in observers:
+                    observe(split, added)
+                monitor.consumed(len(chunk))
+                chunk_counter.add(1)
+                triple_counter.add(len(chunk))
+                residency_gauge.set(monitor.resident_triples)
+                if telemetry.enabled:
+                    chunk_sizes.observe(len(chunk))
+                    chunk_seconds.observe(time.perf_counter() - chunk_started)
+                if progress is not None and monitor.total_chunks % progress_every_chunks == 0:
+                    progress(
+                        IngestProgress(
+                            split=split,
+                            chunks=monitor.total_chunks,
+                            triples=monitor.total_triples,
+                            resident_triples=monitor.resident_triples,
+                            peak_resident_triples=monitor.peak_resident_triples,
+                        )
                     )
-                )
     if builder.split_size("train") == 0:
         raise DatasetIOError(f"no training triples found under {directory}")
     dataset = builder.build()

@@ -60,6 +60,7 @@ import numpy as np
 
 from ..api.schema import TRAINING_DEFAULTS
 from ..eval.ranking import DEFAULT_EVAL_BATCH_SIZE, LinkPredictionEvaluator
+from ..telemetry import get_telemetry
 from ..kg.dataset import Dataset
 from ..kg.sampling import BernoulliNegativeSampler, UniformNegativeSampler
 from .base import KGEModel
@@ -239,6 +240,9 @@ class TrainingRun:
         self._validator: Optional[LinkPredictionEvaluator] = None
         #: Parameter snapshot at the best validation MRR (``restore_best``).
         self._best_params: Optional[Dict[str, np.ndarray]] = None
+        #: Refreshed at the top of :meth:`train` (telemetry may be enabled
+        #: between construction and the run; a no-op singleton when off).
+        self._rows_touched = get_telemetry().counter("train.rows_touched")
         if self.config.restore_best and self.config.validate_every <= 0:
             logger.warning(
                 "restore_best is set but validate_every=%d disables validation; "
@@ -262,6 +266,12 @@ class TrainingRun:
         config = self.config
         started = time.perf_counter()
         self.model.train_mode(True)
+        telemetry = get_telemetry()
+        self._rows_touched = telemetry.counter("train.rows_touched")
+        epoch_counter = telemetry.counter("train.epochs")
+        batch_counter = telemetry.counter("train.batches")
+        loss_gauge = telemetry.gauge("train.loss")
+        epoch_seconds = telemetry.histogram("train.epoch_seconds")
 
         while self.epoch < config.epochs and not self._stop_requested:
             epoch = self.epoch
@@ -269,15 +279,27 @@ class TrainingRun:
             order = self.rng.permutation(len(train_array))
             epoch_loss = 0.0
             num_batches = 0
-            for batch_index, start in enumerate(range(0, len(order), config.batch_size)):
-                batch = train_array[order[start:start + config.batch_size]]
-                loss = self._train_batch(batch, epoch, batch_index)
-                epoch_loss += loss
-                num_batches += 1
-                self._emit("on_batch_end", epoch, batch_index, loss)
+            epoch_started = time.perf_counter()
+            with telemetry.span(
+                "train.epoch",
+                model=self.model.name,
+                dataset=self.dataset.name,
+                epoch=epoch + 1,
+            ):
+                for batch_index, start in enumerate(range(0, len(order), config.batch_size)):
+                    batch = train_array[order[start:start + config.batch_size]]
+                    loss = self._train_batch(batch, epoch, batch_index)
+                    epoch_loss += loss
+                    num_batches += 1
+                    self._emit("on_batch_end", epoch, batch_index, loss)
             mean_loss = epoch_loss / max(1, num_batches)
             self.result.epoch_losses.append(mean_loss)
             self.epoch += 1
+            epoch_counter.add(1)
+            batch_counter.add(num_batches)
+            loss_gauge.set(mean_loss)
+            if telemetry.enabled:
+                epoch_seconds.observe(time.perf_counter() - epoch_started)
             self._log_epoch(epoch, mean_loss, started)
             self._emit("on_epoch_end", epoch, mean_loss)
             if config.validate_every > 0 and (epoch + 1) % config.validate_every == 0:
@@ -344,6 +366,7 @@ class TrainingRun:
                 np.concatenate([batch[:, 0], batch[:, 2], negatives[:, 0], negatives[:, 2]])
             )
             touched_relations = np.unique(np.concatenate([batch[:, 1], negatives[:, 1]]))
+            self._rows_touched.add(len(touched_entities) + len(touched_relations))
             self.model.apply_constraints(
                 touched_entities=touched_entities, touched_relations=touched_relations
             )

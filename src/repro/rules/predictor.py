@@ -32,16 +32,20 @@ class RuleBasedPredictor(ScoreComputeMixin):
     #: below the confidence resolution so it only ever breaks exact ties.
     TIE_BREAK_WEIGHT = 1e-6
 
-    #: Bound of the persistent ``(h, r)`` score-vector cache backing
-    #: :meth:`score_triples_np` (see :class:`repro.serve.ScoreCache`).
+    #: Bound of the persistent score-vector cache shared by every scoring
+    #: entry point (see :class:`repro.serve.ScoreCache`).  Keys are
+    #: namespaced ``("tail", h, r)`` / ``("head", r, t)`` so the two query
+    #: sides never collide.
     CACHE_ENTRIES = 512
 
     def __init__(self, rules: Iterable[Rule], train: TripleSet, num_entities: int) -> None:
         self.num_entities = num_entities
         # Shared bounded LRU instead of the old unbounded per-call dict:
         # repeated analysis passes over the same relations now hit across
-        # calls, and worst-case residency is CACHE_ENTRIES rows.
-        self._score_cache = ScoreCache(self.CACHE_ENTRIES)
+        # calls, and worst-case residency is CACHE_ENTRIES rows.  The name
+        # mirrors hit/miss/eviction counts into the telemetry registry as
+        # ``cache.rules.*``, next to the serving engine's ``cache.serve.*``.
+        self._score_cache = ScoreCache(self.CACHE_ENTRIES, name="rules")
         self.train = train
         self.rules_by_head: Dict[int, List[Rule]] = defaultdict(list)
         for rule in rules:
@@ -85,6 +89,23 @@ class RuleBasedPredictor(ScoreComputeMixin):
             candidates |= self._incoming.get((first.relation, z), set())
         return candidates
 
+    # -- cached score vectors --------------------------------------------------
+    def _tail_vector(self, head: int, relation: int) -> np.ndarray:
+        """Score vector for ``(head, relation, ?)`` through the bounded LRU."""
+        vector, _ = self._score_cache.get_or_put(
+            ("tail", head, relation),
+            lambda: self.score_all_tails(head, relation),
+        )
+        return vector
+
+    def _head_vector(self, relation: int, tail: int) -> np.ndarray:
+        """Score vector for ``(?, relation, tail)`` through the bounded LRU."""
+        vector, _ = self._score_cache.get_or_put(
+            ("head", relation, tail),
+            lambda: self.score_all_heads(relation, tail),
+        )
+        return vector
+
     # -- scoring interface (mirrors KGEModel) -----------------------------------------
     def score_all_tails(self, head: int, relation: int) -> np.ndarray:
         """Max-confidence score of every entity as the tail of ``(head, relation, ?)``."""
@@ -111,17 +132,19 @@ class RuleBasedPredictor(ScoreComputeMixin):
     def score_tails_batch(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
         """(B, E) rule scores in one preallocated matrix.
 
-        Rule instantiation is inherently per-query set algebra (host-side);
-        callers that batch through the evaluator already deduplicate queries,
-        so no per-call memoization is layered on top.  The finished matrix is
-        exported to the configured score backend/dtype (identity on the
-        default numpy/fp64 configuration).
+        Rule instantiation is inherently per-query set algebra (host-side),
+        so each row is answered from the predictor-lifetime score-vector
+        cache: repeated queries — across evaluation sides, analysis passes,
+        or serving requests — reuse the instantiated vector instead of
+        re-walking the rule bodies.  The finished matrix is exported to the
+        configured score backend/dtype (identity on the default numpy/fp64
+        configuration).
         """
         heads = np.asarray(heads, dtype=np.int64).reshape(-1)
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         scores = np.empty((len(heads), self.num_entities))
         for row, (h, r) in enumerate(zip(heads, relations)):
-            scores[row] = self.score_all_tails(int(h), int(r))
+            scores[row] = self._tail_vector(int(h), int(r))
         return self.score_compute.export(scores)
 
     def score_heads_batch(self, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
@@ -130,7 +153,7 @@ class RuleBasedPredictor(ScoreComputeMixin):
         tails = np.asarray(tails, dtype=np.int64).reshape(-1)
         scores = np.empty((len(relations), self.num_entities))
         for row, (r, t) in enumerate(zip(relations, tails)):
-            scores[row] = self.score_all_heads(int(r), int(t))
+            scores[row] = self._head_vector(int(r), int(t))
         return self.score_compute.export(scores)
 
     def score_triples_np(
@@ -145,11 +168,7 @@ class RuleBasedPredictor(ScoreComputeMixin):
         """
         scores = np.zeros(len(heads))
         for index, (h, r, t) in enumerate(zip(heads, relations, tails)):
-            key = (int(h), int(r))
-            vector, _ = self._score_cache.get_or_put(
-                key, lambda key=key: self.score_all_tails(*key)
-            )
-            scores[index] = vector[int(t)]
+            scores[index] = self._tail_vector(int(h), int(r))[int(t)]
         return scores
 
     # -- reporting --------------------------------------------------------------

@@ -12,8 +12,14 @@ The cache stores score *vectors* (or any value) by reference; entries are
 treated as immutable by every consumer — the engine slices and compares
 cached rows, it never writes into them.
 
-The module is a leaf (stdlib only) so the rule predictor can import it
-without dragging in the serving engine.
+The module is a leaf (stdlib only, plus the equally leaf-like
+:mod:`repro.telemetry`) so the rule predictor can import it without dragging
+in the serving engine.  A cache constructed with a ``name`` mirrors its
+hit/miss/eviction counters into the global metrics registry as
+``cache.{name}.hits|misses|evictions`` — the telemetry handle is fetched at
+each operation (never captured at construction), so counts land in whatever
+registry is current, surviving :func:`repro.telemetry.scoped` swaps and
+pickling into evaluation workers.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..telemetry import get_telemetry
 
 #: Default bound: plenty for the evaluator-shaped workloads (hundreds of
 #: unique queries) while capping worst-case residency at ``maxsize`` rows.
@@ -65,13 +73,24 @@ class ScoreCache:
     is a no-op) — callers never need to special-case "caching off".
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_ENTRIES) -> None:
+    def __init__(
+        self, maxsize: int = DEFAULT_CACHE_ENTRIES, name: Optional[str] = None
+    ) -> None:
         self.maxsize = max(0, int(maxsize))
+        self.name = name
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    def _emit(self, outcome: str, amount: int = 1) -> None:
+        """Mirror one counter tick into the current telemetry registry."""
+        if self.name is None:
+            return
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter(f"cache.{self.name}.{outcome}").add(amount)
 
     # -- core operations ----------------------------------------------------
     def get(self, key: Hashable) -> Optional[Any]:
@@ -81,15 +100,19 @@ class ScoreCache:
                 value = self._entries[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        self._emit("hits" if hit else "misses")
+        return value if hit else None
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting least-recently-used overflow."""
         if self.maxsize == 0:
             return
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -97,6 +120,9 @@ class ScoreCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted:
+            self._emit("evictions", evicted)
 
     def get_or_put(self, key: Hashable, factory) -> Tuple[Any, bool]:
         """``(value, was_hit)``; on a miss the factory's value is inserted."""
@@ -114,6 +140,7 @@ class ScoreCache:
         with self._lock:
             return {
                 "maxsize": self.maxsize,
+                "name": self.name,
                 "entries": list(self._entries.items()),
                 "hits": self._hits,
                 "misses": self._misses,
@@ -122,6 +149,7 @@ class ScoreCache:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.maxsize = state["maxsize"]
+        self.name = state.get("name")
         self._entries = OrderedDict(state["entries"])
         self._lock = threading.Lock()
         self._hits = state["hits"]

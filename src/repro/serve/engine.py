@@ -37,12 +37,14 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..api.serving import BatchResult, Query, QueryBatch, TopKResult
+from ..telemetry import OCCUPANCY_BUCKETS, get_telemetry
 from .cache import DEFAULT_CACHE_ENTRIES, CacheStats, ScoreCache
 
 #: ``score_key -> sorted int64 candidate ids known to complete that query``;
@@ -150,8 +152,11 @@ class QueryEngine:
         self.known: KnownIndex = known or {}
         self.max_batch = max(1, int(max_batch))
         self.max_delay = max(0.0, float(max_delay))
-        self.cache = ScoreCache(cache_entries)
-        self._pending: List[Tuple[Query, "asyncio.Future[Tuple[np.ndarray, int]]"]] = []
+        self.cache = ScoreCache(cache_entries, name="serve")
+        #: Parked requests: (query, future, enqueue perf_counter timestamp).
+        self._pending: List[
+            Tuple[Query, "asyncio.Future[Tuple[np.ndarray, int]]", float]
+        ] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._queries = 0
         self._flushes = 0
@@ -169,20 +174,29 @@ class QueryEngine:
     # -- request path --------------------------------------------------------
     async def submit(self, query: Query) -> TopKResult:
         """Answer one query (awaits its micro-batch unless the row is cached)."""
+        telemetry = get_telemetry()
+        started = time.perf_counter() if telemetry.enabled else 0.0
+        telemetry.counter("serve.requests").add(1)
         self._validate(query)
         self._queries += 1
         row = self.cache.get(query.score_key)
         if row is not None:
-            return self._answer(query, row, cache_hit=True, batch_size=1)
-        loop = asyncio.get_running_loop()
-        future: "asyncio.Future[Tuple[np.ndarray, int]]" = loop.create_future()
-        self._pending.append((query, future))
-        if len(self._pending) >= self.max_batch:
-            self._flush()
-        elif self._flush_handle is None:
-            self._flush_handle = loop.call_later(self.max_delay, self._flush)
-        row, batch_size = await future
-        return self._answer(query, row, cache_hit=False, batch_size=batch_size)
+            result = self._answer(query, row, cache_hit=True, batch_size=1)
+        else:
+            loop = asyncio.get_running_loop()
+            future: "asyncio.Future[Tuple[np.ndarray, int]]" = loop.create_future()
+            self._pending.append((query, future, time.perf_counter()))
+            if len(self._pending) >= self.max_batch:
+                self._flush()
+            elif self._flush_handle is None:
+                self._flush_handle = loop.call_later(self.max_delay, self._flush)
+            row, batch_size = await future
+            result = self._answer(query, row, cache_hit=False, batch_size=batch_size)
+        if telemetry.enabled:
+            telemetry.histogram("serve.request_seconds").observe(
+                time.perf_counter() - started
+            )
+        return result
 
     async def submit_batch(self, batch: QueryBatch) -> BatchResult:
         """Answer a request envelope; results align with the query order."""
@@ -217,23 +231,33 @@ class QueryEngine:
             return
         self._flushes += 1
         self._largest_batch = max(self._largest_batch, len(pending))
+        telemetry = get_telemetry()
+        telemetry.counter("serve.flushes").add(1)
+        if telemetry.enabled:
+            now = time.perf_counter()
+            queue_delay = telemetry.histogram("serve.queue_delay_seconds")
+            for _, _, enqueued_at in pending:
+                queue_delay.observe(max(0.0, now - enqueued_at))
+            telemetry.histogram(
+                "serve.flush_occupancy", bounds=OCCUPANCY_BUCKETS
+            ).observe(len(pending) / self.max_batch)
         # Requests sharing a score key are scored once (the evaluator's
         # deduplication, applied to concurrent traffic).
         order: List[Tuple[str, int, int]] = []
         seen: Dict[Tuple[str, int, int], None] = {}
-        for query, _ in pending:
+        for query, _, _ in pending:
             if query.score_key not in seen:
                 seen[query.score_key] = None
                 order.append(query.score_key)
         try:
             rows = self._score_keys(order)
         except Exception as error:  # pragma: no cover - scorer failure path
-            for _, future in pending:
+            for _, future, _ in pending:
                 if not future.done():
                     future.set_exception(error)
             return
         batch_size = len(pending)
-        for query, future in pending:
+        for query, future, _ in pending:
             if not future.done():
                 future.set_result((rows[query.score_key], batch_size))
 
@@ -253,6 +277,7 @@ class QueryEngine:
                 self.scorer, [(a, b) for _, a, b in keys], side
             )
             self._scored_rows += len(keys)
+            get_telemetry().counter("serve.scored_rows").add(len(keys))
             for key, row in zip(keys, matrix):
                 row = np.ascontiguousarray(row, dtype=np.float64)
                 row.setflags(write=False)

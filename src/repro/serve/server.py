@@ -6,8 +6,9 @@ The wire protocol is deliberately minimal — one JSON object per line:
   (``{"version": 1, "queries": [{...}, ...]}``);
 * the response is the matching :class:`repro.api.BatchResult` envelope
   (``{"version": 1, "results": [...]}``), one line, in request-query order;
-* ``{"op": "stats"}`` returns the engine's counters, ``{"op": "ping"}``
-  answers ``{"ok": true}`` (liveness probes);
+* ``{"op": "stats"}`` returns the engine's counters (plus a ``telemetry``
+  metrics snapshot when telemetry is enabled), ``{"op": "ping"}`` answers
+  ``{"ok": true}`` (liveness probes);
 * any malformed request answers ``{"error": "..."}`` on its line — the
   connection survives, so one bad request cannot wedge a client's pipeline.
 
@@ -26,6 +27,7 @@ import json
 from typing import Any, Dict, List, Optional
 
 from ..api.serving import BatchResult, QueryBatch, WireError
+from ..telemetry import get_telemetry
 from .engine import QueryEngine
 
 #: Generous per-line bound: a 4096-query batch envelope fits comfortably.
@@ -82,7 +84,13 @@ def _answer_op(engine: QueryEngine, payload: Dict[str, Any]) -> Dict[str, Any]:
     if op == "ping":
         return {"ok": True}
     if op == "stats":
-        return {"stats": engine.stats.as_dict()}
+        # The metrics snapshot rides along when telemetry is on; clients that
+        # only know the original {"stats": ...} shape keep working.
+        reply: Dict[str, Any] = {"stats": engine.stats.as_dict()}
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            reply["telemetry"] = telemetry.snapshot()
+        return reply
     return {"error": f"unknown op {op!r}"}
 
 

@@ -1,0 +1,86 @@
+"""The shared emit path of every gated ``BENCH_*.json`` benchmark report.
+
+Before this module each script under ``benchmarks/`` carried its own verbatim
+copy of the same ``main()``: parse ``--json``, build the report, dump it,
+pretty-print, list the failing gates, exit 1.  :func:`bench_main` is that
+block written once; :func:`write_bench_report` is the writer, which also
+stamps a ``host`` section (python/platform/cpu count) into every report so a
+regression artifact records where it was measured.
+
+Report schema (shared by all gated benchmarks)::
+
+    {"benchmark": <name>, ...measurements..., "gates": [
+        {"name", "threshold", "value", "enforced", "passed", "skip_reason"?}
+     ], "host": {"python", "implementation", "platform", "machine", "cpu_count"}}
+
+The module lives in ``repro.telemetry`` (not ``benchmarks/``) because the
+host stamp and schema are telemetry concerns, and the benchmark scripts are
+deliberately standalone files without a package of their own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+__all__ = ["bench_main", "host_info", "write_bench_report"]
+
+
+def host_info() -> Dict[str, Any]:
+    """Where the measurement ran — stamped into every benchmark report."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def write_bench_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write one ``BENCH_*.json`` report (host-stamped, trailing newline)."""
+    path = Path(path)
+    stamped = dict(report)
+    stamped.setdefault("host", host_info())
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(stamped, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def bench_main(
+    build_report: Callable[[], Tuple[Dict[str, Any], bool]],
+    print_report: Callable[[Dict[str, Any]], None],
+    default_json_path: str,
+    description: str,
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """The shared CLI of a gated benchmark script.
+
+    ``build_report`` returns ``(report, all_gates_passed)``; the report is
+    written to ``--json`` (default ``default_json_path``) via
+    :func:`write_bench_report`, pretty-printed with ``print_report``, and the
+    exit code is 1 with the failing gate names on stderr when any enforced
+    gate failed — exactly the contract CI's benchmark-gate job relies on.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--json",
+        default=default_json_path,
+        help=f"machine-readable report path (default: {default_json_path})",
+    )
+    args = parser.parse_args(argv)
+    report, passed = build_report()
+    write_bench_report(report, args.json)
+    print_report(report)
+    print(f"\nreport written to {args.json}")
+    if not passed:
+        failing = [gate["name"] for gate in report["gates"] if not gate["passed"]]
+        print(f"benchmark regression gate FAILED: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,90 @@
+"""Opt-in profiling hooks: wall/CPU stage timers and memory peaks.
+
+Profiling is heavier than metrics (``tracemalloc`` in particular multiplies
+allocation cost), so it sits behind its own flag (``--profile`` /
+``[telemetry] profile``) instead of riding on ``enabled``.  The primitives:
+
+* :func:`profile_block` — a context manager measuring wall seconds
+  (``perf_counter``), CPU seconds (``process_time``), the process peak-RSS
+  high-water mark, and (when requested and available) the ``tracemalloc``
+  Python-allocation peak over the block;
+* :func:`rss_bytes` — current resident set size, dependency-free:
+  ``/proc/self/status`` where it exists, else ``resource.getrusage``;
+* :func:`peak_rss_bytes` — the process-lifetime peak RSS
+  (``ru_maxrss``), monotone by construction.
+
+Everything degrades gracefully: on platforms without ``resource`` or
+``/proc`` the memory fields are reported as ``None`` rather than raising.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+try:  # pragma: no cover - resource exists on every POSIX we target
+    import resource
+except ImportError:  # pragma: no cover - windows
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes", "profile_block", "rss_bytes"]
+
+
+def _ru_maxrss_bytes(raw: int) -> int:
+    # Linux reports kilobytes, macOS bytes.
+    return raw if sys.platform == "darwin" else raw * 1024
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Process-lifetime peak resident set size (None if unknowable)."""
+    if resource is None:
+        return None
+    return _ru_maxrss_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident set size (None if unknowable)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return peak_rss_bytes()
+
+
+@contextmanager
+def profile_block(
+    trace_allocations: bool = False,
+) -> Iterator[Dict[str, Any]]:
+    """Measure a block; the yielded dict is filled in on exit.
+
+    Keys: ``wall_seconds``, ``cpu_seconds``, ``rss_peak_bytes`` (process
+    peak RSS at block exit — monotone, so nested blocks report the same
+    high-water mark), and ``python_alloc_peak_bytes`` when
+    ``trace_allocations`` is set (None when tracemalloc was already running
+    under someone else's control, to avoid stopping their trace).
+    """
+    report: Dict[str, Any] = {}
+    own_tracemalloc = trace_allocations and not tracemalloc.is_tracing()
+    if own_tracemalloc:
+        tracemalloc.start()
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    try:
+        yield report
+    finally:
+        report["wall_seconds"] = time.perf_counter() - wall_start
+        report["cpu_seconds"] = time.process_time() - cpu_start
+        report["rss_peak_bytes"] = peak_rss_bytes()
+        if trace_allocations:
+            if own_tracemalloc:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                report["python_alloc_peak_bytes"] = peak
+            else:
+                report["python_alloc_peak_bytes"] = None

@@ -1,0 +1,211 @@
+"""Nestable spans and trace exporters (JSON lines + Chrome trace).
+
+A span brackets one unit of work — a pipeline stage, a training epoch, an
+evaluation shard, a serving flush — and records monotonic-clock timing
+(``time.perf_counter`` start/duration, immune to wall-clock steps) alongside
+a wall-clock start used only to align spans from different processes on one
+Chrome-trace timeline.  Nesting is tracked per thread: entering a span while
+another is open on the same thread links the child to its parent, so the
+exported trace reconstructs the call tree without any caller bookkeeping.
+
+Span records are plain JSON-safe dicts::
+
+    {"name": "pipeline.evaluate", "id": 3, "parent_id": 1, "pid": 4242,
+     "tid": 0, "start": 1730000000.125, "duration": 0.512,
+     "attrs": {"dataset": "WN18RR-like"}}
+
+Span ids are unique *within* a process; across processes ``(pid, id)`` is
+the unique key, which is why :meth:`Tracer.absorb` keeps worker records
+verbatim instead of renumbering them.
+
+Export formats:
+
+* :func:`write_trace_jsonl` — one record per line, the format behind
+  ``repro-kgc run --trace-out run.trace.jsonl``;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome trace-event
+  JSON consumed by ``chrome://tracing`` and https://ui.perfetto.dev (see
+  ``docs/observability.md`` for the how-to).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "read_trace_jsonl",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+
+class Span:
+    """One traced unit of work; use as a context manager.
+
+    Attributes set at construction (``span("eval.rank_shard", shard=3)``) or
+    later via :meth:`set` travel in the record's ``attrs`` dict.  Spans are
+    single-use and must be closed on the thread that opened them.
+    """
+
+    __slots__ = ("name", "attrs", "_tracer", "_id", "_parent_id", "_wall_start", "_perf_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self._id: Optional[int] = None
+        self._parent_id: Optional[int] = None
+        self._wall_start = 0.0
+        self._perf_start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._id, self._parent_id = self._tracer._open(self)
+        self._wall_start = time.time()
+        self._perf_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._perf_start
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self, duration)
+
+
+class Tracer:
+    """Process-local span collector with per-thread nesting.
+
+    Thread-safe: the record list is lock-protected and the open-span stack is
+    thread-local, so concurrent threads (e.g. the serving event loop plus the
+    engine's callers) trace independently without interleaving parents.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._tids = itertools.count(0)
+
+    # -- span lifecycle (driven by Span) -----------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+            self._local.tid = next(self._tids)
+        return stack
+
+    def _open(self, span: Span):
+        stack = self._stack()
+        span_id = next(self._ids)
+        parent_id = stack[-1] if stack else None
+        stack.append(span_id)
+        return span_id, parent_id
+
+    def _close(self, span: Span, duration: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span._id:
+            stack.pop()
+        record = {
+            "name": span.name,
+            "id": span._id,
+            "parent_id": span._parent_id,
+            "pid": os.getpid(),
+            "tid": getattr(self._local, "tid", 0),
+            "start": span._wall_start,
+            "duration": duration,
+            "attrs": dict(span.attrs),
+        }
+        with self._lock:
+            self._records.append(record)
+
+    # -- public surface -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    def absorb(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Fold finished span records from another process (pids kept)."""
+        incoming = [dict(record) for record in records]
+        with self._lock:
+            self._records.extend(incoming)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """A copy of every finished span record, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+# -- exporters --------------------------------------------------------------
+def write_trace_jsonl(records: Iterable[Dict[str, Any]], path: Union[str, Path]) -> Path:
+    """Write span records as JSON lines (the ``--trace-out`` format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a ``--trace-out`` file back into span records."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records to Chrome trace-event JSON (Perfetto-loadable).
+
+    Each span becomes one complete ("X") event; timestamps are microseconds
+    relative to the earliest wall-clock start across all processes, so
+    multi-process runs line up on one timeline.
+    """
+    spans = list(records)
+    origin = min((record["start"] for record in spans), default=0.0)
+    events = []
+    for record in spans:
+        events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": (record["start"] - origin) * 1e6,
+                "dur": record["duration"] * 1e6,
+                "pid": record["pid"],
+                "tid": record.get("tid", 0),
+                "args": record.get("attrs", {}),
+            }
+        )
+    events.sort(key=lambda event: (event["pid"], event["tid"], event["ts"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[Dict[str, Any]], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(records), indent=2) + "\n", encoding="utf-8")
+    return path

@@ -18,6 +18,7 @@ EXAMPLE_SPECS = sorted((Path(__file__).parents[2] / "examples" / "specs").glob("
 
 #: Minimal argv that reaches each subcommand's defaults.
 MINIMAL_ARGV = {
+    "run": ["run", "unused.toml"],
     "generate": ["generate"],
     "audit": ["audit"],
     "ingest": ["ingest", "--input", "unused"],

@@ -7,6 +7,7 @@ import pytest
 from repro.api import ArtifactStore, ExperimentSpec, Runner
 from repro.api.spec import SpecValidationError
 from repro.experiments import ExperimentConfig, Workbench
+from repro.telemetry import read_trace_jsonl, scoped
 
 
 def _tiny_spec(**training):
@@ -243,3 +244,73 @@ def test_workbench_exposes_and_shares_the_artifact_store():
     sibling = Workbench(config, store=workbench.artifacts)
     assert sibling.dataset("WN18RR-like") is dataset
     assert sibling.evaluation("DistMult", "WN18RR-like") is evaluation
+
+
+# ------------------------------------------------------------------ telemetry
+def test_telemetry_run_traces_every_stage_and_changes_no_rank(tmp_path):
+    """The observability acceptance contract: an instrumented run produces a
+    trace covering every executed stage plus a metrics snapshot spanning
+    ingest, training, evaluation and the rule predictor's cache — while the
+    spec fingerprint and every reported metric stay bit-identical to the
+    telemetry-off run."""
+
+    def make_spec():
+        spec = ExperimentSpec(
+            name="telemetry-tiny",
+            datasets=["WN18-like"],
+            models=["TransE"],
+            include_amie=True,   # AMIE's predictor drives the cache.rules.* series
+        )
+        spec.model.dim = 8
+        spec.training.epochs = 2
+        return spec
+
+    with scoped():  # isolate the process-global telemetry handle
+        baseline = Runner(make_spec()).run()
+
+    traced_spec = make_spec()
+    traced_spec.telemetry.enabled = True
+    traced_spec.telemetry.profile = True
+    traced_spec.telemetry.trace_path = str(tmp_path / "run.trace.jsonl")
+    assert traced_spec.fingerprint() == make_spec().fingerprint()
+    with scoped():
+        runner = Runner(traced_spec)
+        traced = runner.run()
+
+    # Observability never perturbs the experiment.
+    assert traced.fingerprint == baseline.fingerprint
+    for row, reference in zip(traced.rows["WN18-like"], baseline.rows["WN18-like"]):
+        assert dict(row) == dict(reference)
+
+    telemetry = traced.telemetry
+    assert baseline.telemetry is None
+    records = read_trace_jsonl(tmp_path / "run.trace.jsonl")
+    assert telemetry["trace_path"] == str(tmp_path / "run.trace.jsonl")
+    assert telemetry["span_count"] == len(records)
+    assert runner.store[("telemetry", "trace")] == records
+
+    # Every executed stage has its pipeline span.
+    span_names = {record["name"] for record in records}
+    for stage in (s.name for s in traced.stages):
+        assert f"pipeline.{stage}" in span_names, stage
+    assert "train.epoch" in span_names
+    assert "eval.rank_shard" in span_names
+
+    # The snapshot covers every instrumented layer.
+    counters = telemetry["metrics"]["counters"]
+    assert counters["ingest.datasets"] == 1
+    assert counters["ingest.triples"] > 0
+    assert counters["train.epochs"] == 2
+    assert counters["train.batches"] > 0
+    assert counters["eval.entries"] > 0
+    assert counters["eval.ranked_targets"] > 0
+    assert any(name.startswith("cache.rules.") for name in counters)
+    histograms = telemetry["metrics"]["histograms"]
+    assert histograms["train.epoch_seconds"]["count"] == 2
+
+    # --profile recorded wall/cpu/RSS per executed stage.
+    profile = telemetry["profile"]
+    assert set(profile) == {stage.name for stage in traced.stages}
+    for stage_profile in profile.values():
+        assert stage_profile["wall_seconds"] >= 0.0
+        assert "rss_peak_bytes" in stage_profile

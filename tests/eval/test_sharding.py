@@ -10,6 +10,7 @@ processes, so it inherits the identity for every scorer family.
 from __future__ import annotations
 
 import multiprocessing
+import random
 
 import numpy as np
 import pytest
@@ -29,6 +30,7 @@ from repro.models import ModelConfig, make_model
 from repro.models.registry import ALL_EMBEDDING_MODELS
 from repro.rules.amie import AmieConfig, AmieMiner
 from repro.rules.predictor import RuleBasedPredictor
+from repro.telemetry import Telemetry, scoped
 
 #: Test-local scorer classes ship to workers by reference, which only works
 #: when the child inherits this module's state via fork.
@@ -262,6 +264,86 @@ def test_sharded_metrics_equal_single_process_metrics(toy_dataset, capped_worker
     sharded = evaluator.evaluate(scorer, n_workers=capped_workers(3))
     assert single.metrics().as_dict() == sharded.metrics().as_dict()
     assert single.metrics_by_relation().keys() == sharded.metrics_by_relation().keys()
+
+
+# ---------------------------------------------------------------------------- telemetry merge
+@settings(max_examples=40, deadline=None)
+@given(
+    triples=_TRIPLES,
+    side=st.sampled_from(["tail", "head"]),
+    n_workers=st.integers(min_value=1, max_value=8),
+    shard_size=st.none() | st.integers(min_value=1, max_value=8),
+    order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_per_shard_telemetry_payloads_fold_to_single_process_counts(
+    triples, side, n_workers, shard_size, order_seed
+):
+    """Telemetry inherits the shard-merge property: running each shard under
+    its own scoped Telemetry (exactly what a pool worker does) and absorbing
+    the payloads in ANY order reproduces the single-process metric counts."""
+    scorer = _TieHeavyScorer(num_entities=8)
+    entries = _side_entries(triples, side)
+    known = _known_index(triples, side)
+
+    with scoped(Telemetry(enabled=True)) as single:
+        evaluate_shards(scorer, {side: entries}, {side: known}, 1, None, 4)
+        reference = single.snapshot()["counters"]
+
+    shards = plan_shards(len(entries), n_workers, shard_size)
+    payloads = []
+    for start, stop in shards:
+        with scoped(Telemetry(enabled=True)) as worker:
+            evaluate_shards(
+                scorer, {side: entries[start:stop]}, {side: known}, 1, None, 4
+            )
+            payloads.append(worker.worker_payload())
+    random.Random(order_seed).shuffle(payloads)
+
+    parent = Telemetry(enabled=True)
+    for payload in payloads:
+        parent.absorb_worker_payload(payload)
+    merged = parent.snapshot()["counters"]
+    assert merged["eval.entries"] == reference["eval.entries"]
+    assert merged["eval.ranked_targets"] == reference["eval.ranked_targets"]
+    assert merged["eval.shards"] == len(shards)
+    spans = [r for r in parent.trace_records() if r["name"] == "eval.rank_shard"]
+    assert len(spans) == len(shards)
+    assert sum(r["attrs"]["entries"] for r in spans) == len(entries)
+
+
+@pytest.mark.multiprocess
+def test_multiprocess_eval_telemetry_matches_single_process(
+    toy_dataset, capped_workers
+):
+    """Worker payloads shipped through a real pool fold to the single-process
+    counts, and enabling telemetry changes no rank."""
+    model = make_model(
+        "DistMult", toy_dataset.num_entities, toy_dataset.num_relations,
+        ModelConfig(dim=8, seed=3),
+    )
+    model.train_mode(False)
+    evaluator = LinkPredictionEvaluator(toy_dataset)
+    triples = _query_rich_triples(toy_dataset)
+
+    untraced = evaluator.evaluate(model, test_triples=triples)
+    with scoped(Telemetry(enabled=True)) as single_t:
+        single = evaluator.evaluate(model, test_triples=triples)
+        single_counts = single_t.snapshot()["counters"]
+    with scoped(Telemetry(enabled=True)) as sharded_t:
+        sharded = evaluator.evaluate(
+            model, test_triples=triples, n_workers=capped_workers(2)
+        )
+        sharded_counts = sharded_t.snapshot()["counters"]
+
+    _assert_identical_results(untraced, single)   # telemetry never changes a rank
+    _assert_identical_results(single, sharded)
+    assert sharded_counts["eval.entries"] == single_counts["eval.entries"]
+    assert sharded_counts["eval.ranked_targets"] == single_counts["eval.ranked_targets"]
+    # The parent absorbed one eval.rank_shard span per worker shard.
+    spans = [
+        r for r in sharded_t.trace_records() if r["name"] == "eval.rank_shard"
+    ]
+    assert len(spans) == sharded_counts["eval.shards"]
 
 
 # ---------------------------------------------------------------------------- worker cap fixture

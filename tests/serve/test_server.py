@@ -11,6 +11,7 @@ from repro.api import BatchResult, Query, QueryBatch, WireError
 from repro.models import ModelConfig, make_model
 from repro.serve import QueryEngine, query_server, serve_forever, start_server
 from repro.serve.server import answer_request
+from repro.telemetry import Telemetry, scoped
 
 
 def build_engine(**kwargs):
@@ -83,6 +84,20 @@ def test_ping_stats_and_unknown_ops():
     payload = stats["stats"]
     assert payload["queries"] >= 0 and "cache" in payload
     assert "unknown op" in unknown["error"]
+    # Without telemetry the stats reply keeps its original shape.
+    assert "telemetry" not in stats
+
+
+def test_stats_op_carries_a_telemetry_snapshot_when_enabled():
+    engine = build_engine()
+    batch = json.dumps(QueryBatch.of(Query.tail(0, 1, k=3)).to_wire())
+    with scoped(Telemetry(enabled=True)):
+        reply, stats = run_session(engine, batch, json.dumps({"op": "stats"}))
+    assert "results" in reply
+    snapshot = stats["telemetry"]
+    assert snapshot["counters"]["serve.requests"] >= 1
+    assert any(name.startswith("cache.serve.") for name in snapshot["counters"])
+    json.dumps(stats)  # the whole reply must stay wire-serializable
 
 
 # ------------------------------------------------------------------ live sockets

@@ -1,0 +1,217 @@
+"""The metrics registry: exact order-free merges, bucket percentiles, pickling.
+
+The load-bearing property is **merge determinism**: evaluation pool workers
+each snapshot their own registry and the parent folds the snapshots in
+whatever order the pool returns them, so folding in *any* order must yield
+bit-identical state — including the histogram sum, which is carried as an
+exact ``fractions.Fraction`` precisely because IEEE float addition is not
+associative.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ---------------------------------------------------------------------------- counters & gauges
+def test_counter_counts_and_merges():
+    registry = MetricsRegistry()
+    registry.counter("eval.shards").add(3)
+    registry.counter("eval.shards").add()
+    assert registry.counter("eval.shards").value == 4
+    registry.counter("eval.shards").merge_snapshot(10)
+    assert registry.snapshot()["counters"]["eval.shards"] == 14
+
+
+def test_gauge_tracks_value_and_peak():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("ingest.queue_depth_chunks")
+    gauge.set(3)
+    gauge.set(7)
+    gauge.set(2)
+    snap = registry.snapshot()["gauges"]["ingest.queue_depth_chunks"]
+    assert snap == {"value": 2.0, "max": 7.0, "updates": 3}
+
+
+def test_gauge_merge_is_max_and_ignores_empty():
+    merged = MetricsRegistry()
+    merged.gauge("g").set(5)
+    merged.gauge("g").merge_snapshot({"value": 3.0, "max": 9.0, "updates": 2})
+    snap = merged.snapshot()["gauges"]["g"]
+    assert snap == {"value": 5.0, "max": 9.0, "updates": 3}
+    # A worker that never set the gauge must not drag the value to zero.
+    merged.gauge("g").merge_snapshot({"value": 0.0, "max": 0.0, "updates": 0})
+    assert merged.snapshot()["gauges"]["g"] == snap
+
+
+# ---------------------------------------------------------------------------- histograms
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))
+
+
+def test_histogram_percentiles_are_bucket_upper_bounds():
+    hist = Histogram("h", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.05, 0.5, 2.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["counts"] == [2, 1, 1, 0]
+    assert snap["count"] == 4
+    assert snap["min"] == 0.05 and snap["max"] == 2.0
+    # p50 falls in the first bucket; its upper edge 0.1 is the estimate.
+    assert snap["p50"] == 0.1
+    # p99 falls in the third bucket (edge 10.0), clamped to the observed max.
+    assert snap["p99"] == 2.0
+    assert snap["mean"] == pytest.approx(0.65)
+
+
+def test_histogram_overflow_bucket_reports_observed_max():
+    hist = Histogram("h", bounds=(1.0,))
+    hist.observe(5.0)
+    snap = hist.snapshot()
+    assert snap["counts"] == [0, 1]
+    assert snap["p50"] == 5.0
+
+
+def test_histogram_sum_is_exact():
+    hist = Histogram("h", bounds=(1.0,))
+    # 0.1 + 0.2 != 0.3 in floats, but the exact fraction sum is reproducible
+    # regardless of accumulation order.
+    hist.observe(0.1)
+    hist.observe(0.2)
+    numerator, denominator = hist.snapshot()["sum_exact"]
+    assert (numerator, denominator) != (3, 10)  # binary64, not decimal
+    other = Histogram("h", bounds=(1.0,))
+    other.observe(0.2)
+    other.observe(0.1)
+    assert other.snapshot()["sum_exact"] == [numerator, denominator]
+
+
+def test_histogram_merge_requires_matching_bounds():
+    ours = Histogram("h", bounds=DEFAULT_TIME_BUCKETS)
+    theirs = Histogram("h", bounds=OCCUPANCY_BUCKETS)
+    theirs.observe(0.5)
+    with pytest.raises(ValueError, match="bounds differ"):
+        ours.merge_snapshot(theirs.snapshot())
+
+
+# ---------------------------------------------------------------------------- registry
+def test_registry_creation_is_idempotent_and_kind_checked():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(TypeError, match="Counter"):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+    assert registry.names() == ["x"]
+
+
+def test_registry_snapshot_is_json_safe_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b.count").add(1)
+    registry.gauge("a.gauge").set(2)
+    registry.histogram("c.hist", bounds=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    json.dumps(snap)  # must round-trip through JSON untouched
+    assert list(snap["counters"]) == ["b.count"]
+    assert list(snap["gauges"]) == ["a.gauge"]
+    assert list(snap["histograms"]) == ["c.hist"]
+
+
+def test_registry_merge_creates_missing_metrics():
+    source = MetricsRegistry()
+    source.counter("n").add(2)
+    source.histogram("h", bounds=(1.0,)).observe(0.25)
+    target = MetricsRegistry()
+    target.merge_snapshot(source.snapshot())
+    assert target.snapshot() == source.snapshot()
+
+
+def test_registry_pickles_by_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("n").add(5)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", bounds=(1.0, 2.0)).observe(1.25)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.snapshot() == registry.snapshot()
+    clone.counter("n").add(1)  # still live after unpickling
+    assert clone.snapshot()["counters"]["n"] == 6
+
+
+# ---------------------------------------------------------------------------- the merge property
+_OBSERVATIONS = st.lists(
+    st.floats(
+        min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    observations=_OBSERVATIONS,
+    counts=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8),
+    n_workers=st.integers(min_value=1, max_value=8),
+    order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_worker_snapshots_merge_order_free(observations, counts, n_workers, order_seed):
+    """Snapshots split across workers and folded in ANY order are
+    bit-identical to recording everything in one registry."""
+    single = MetricsRegistry()
+    for count in counts:
+        single.counter("events").add(count)
+    for value in observations:
+        single.histogram("durations").observe(value)
+        single.gauge("depth").set(value)
+
+    workers = [MetricsRegistry() for _ in range(n_workers)]
+    for index, count in enumerate(counts):
+        workers[index % n_workers].counter("events").add(count)
+    for index, value in enumerate(observations):
+        worker = workers[index % n_workers]
+        worker.histogram("durations").observe(value)
+        worker.gauge("depth").set(value)
+
+    payloads = [worker.snapshot() for worker in workers]
+    random.Random(order_seed).shuffle(payloads)
+    merged = MetricsRegistry()
+    for payload in payloads:
+        merged.merge_snapshot(payload)
+
+    merged_snap, single_snap = merged.snapshot(), single.snapshot()
+    assert merged_snap["counters"] == single_snap["counters"]
+    if observations:
+        ours = merged_snap["histograms"]["durations"]
+        reference = single_snap["histograms"]["durations"]
+        # The exact-fraction carry makes even the float sum bit-identical.
+        assert ours["sum_exact"] == reference["sum_exact"]
+        assert ours["sum"] == reference["sum"]
+        assert ours["counts"] == reference["counts"]
+        assert (ours["min"], ours["max"]) == (reference["min"], reference["max"])
+        assert (ours["p50"], ours["p95"], ours["p99"]) == (
+            reference["p50"], reference["p95"], reference["p99"],
+        )
+        assert merged_snap["gauges"]["depth"]["max"] == single_snap["gauges"]["depth"]["max"]
+        assert (
+            merged_snap["gauges"]["depth"]["updates"]
+            == single_snap["gauges"]["depth"]["updates"]
+        )

@@ -1,0 +1,169 @@
+"""The Telemetry facade: null fast path, scoping, worker payloads, profiling,
+and the shared benchmark-report writer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    configure,
+    get_telemetry,
+    peak_rss_bytes,
+    profile_block,
+    scoped,
+)
+from repro.telemetry.bench import bench_main, host_info, write_bench_report
+
+
+# ---------------------------------------------------------------------------- null fast path
+def test_disabled_telemetry_hands_out_shared_noop_singletons():
+    telemetry = Telemetry(enabled=False)
+    assert telemetry.span("a") is telemetry.span("b")
+    assert telemetry.counter("a") is telemetry.counter("b")
+    assert telemetry.gauge("a") is telemetry.gauge("b")
+    assert telemetry.histogram("a") is telemetry.histogram("b")
+    # The no-ops accept the full instrument surface and record nothing.
+    with telemetry.span("work", k=1) as span:
+        span.set(rows=10)
+    telemetry.counter("n").add(5)
+    telemetry.gauge("g").set(1.0)
+    telemetry.histogram("h").observe(0.5)
+    assert telemetry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert telemetry.trace_records() == []
+
+
+def test_enabled_telemetry_records():
+    telemetry = Telemetry(enabled=True)
+    with telemetry.span("work", stage="x"):
+        telemetry.counter("n").add(2)
+    assert telemetry.snapshot()["counters"]["n"] == 2
+    [record] = telemetry.trace_records()
+    assert record["name"] == "work" and record["attrs"] == {"stage": "x"}
+
+
+# ---------------------------------------------------------------------------- global handle
+def test_scoped_swaps_and_restores_the_global_handle():
+    before = get_telemetry()
+    with scoped() as fresh:
+        assert get_telemetry() is fresh
+        assert fresh is not before
+        assert not fresh.enabled
+        inner = Telemetry(enabled=True)
+        with scoped(inner):
+            assert get_telemetry() is inner
+        assert get_telemetry() is fresh
+    assert get_telemetry() is before
+
+
+def test_scoped_restores_on_exception():
+    before = get_telemetry()
+    with pytest.raises(RuntimeError):
+        with scoped():
+            raise RuntimeError("boom")
+    assert get_telemetry() is before
+
+
+def test_configure_flips_switches_in_place():
+    with scoped() as telemetry:
+        assert configure(enabled=True) is telemetry
+        assert telemetry.enabled and not telemetry.profile
+        configure(profile=True)
+        assert telemetry.profile
+        configure()  # None = leave as is
+        assert telemetry.enabled and telemetry.profile
+
+
+# ---------------------------------------------------------------------------- worker payloads
+def test_worker_payload_round_trip():
+    worker = Telemetry(enabled=True)
+    with worker.span("eval.rank_shard", shard=1):
+        worker.counter("eval.entries").add(4)
+        worker.histogram("seconds").observe(0.01)
+    payload = worker.worker_payload()
+    json.dumps(payload)  # must survive pickling/JSON between processes
+
+    parent = Telemetry(enabled=True)
+    parent.counter("eval.entries").add(1)
+    parent.absorb_worker_payload(payload)
+    parent.absorb_worker_payload(None)  # disabled workers send None
+    parent.absorb_worker_payload({})
+    snap = parent.snapshot()
+    assert snap["counters"]["eval.entries"] == 5
+    assert snap["histograms"]["seconds"]["count"] == 1
+    assert [r["name"] for r in parent.trace_records()] == ["eval.rank_shard"]
+
+
+# ---------------------------------------------------------------------------- profiling
+def test_profile_block_reports_wall_cpu_and_rss():
+    with profile_block() as report:
+        sum(range(10000))
+    assert report["wall_seconds"] >= 0.0
+    assert report["cpu_seconds"] >= 0.0
+    assert report["rss_peak_bytes"] == peak_rss_bytes()
+
+
+def test_profile_block_traces_python_allocations():
+    with profile_block(trace_allocations=True) as report:
+        blob = [bytearray(256 * 1024) for _ in range(4)]
+        del blob
+    assert report["python_alloc_peak_bytes"] >= 4 * 256 * 1024
+
+
+# ---------------------------------------------------------------------------- bench reports
+def test_write_bench_report_stamps_host(tmp_path):
+    path = write_bench_report({"benchmark": "demo", "gates": []}, tmp_path / "BENCH_demo.json")
+    written = json.loads(path.read_text())
+    assert written["benchmark"] == "demo"
+    assert set(written["host"]) == set(host_info())
+    # An explicit host section is never overwritten.
+    path = write_bench_report({"host": {"python": "?"}}, tmp_path / "BENCH_host.json")
+    assert json.loads(path.read_text())["host"] == {"python": "?"}
+
+
+def _run_bench_main(tmp_path, passed, capsys):
+    report = {
+        "benchmark": "demo",
+        "gates": [{"name": "gate_a", "threshold": 1.0, "value": 2.0,
+                   "enforced": True, "passed": passed}],
+    }
+    json_path = tmp_path / "BENCH_demo.json"
+    code = bench_main(
+        lambda: (report, passed),
+        lambda rep: print("pretty", rep["benchmark"]),
+        str(json_path),
+        "demo benchmark",
+        argv=[],
+    )
+    out, err = capsys.readouterr()
+    return code, json_path, out, err
+
+
+def test_bench_main_success_writes_report_and_exits_zero(tmp_path, capsys):
+    code, json_path, out, err = _run_bench_main(tmp_path, True, capsys)
+    assert code == 0 and err == ""
+    assert "pretty demo" in out and str(json_path) in out
+    assert json.loads(json_path.read_text())["benchmark"] == "demo"
+
+
+def test_bench_main_failing_gate_exits_one_with_names(tmp_path, capsys):
+    code, json_path, out, err = _run_bench_main(tmp_path, False, capsys)
+    assert code == 1
+    assert "gate_a" in err
+    assert json_path.exists()  # the report is written even on failure
+
+
+def test_bench_main_honours_json_flag(tmp_path, capsys):
+    target = tmp_path / "elsewhere.json"
+    code = bench_main(
+        lambda: ({"gates": []}, True),
+        lambda rep: None,
+        str(tmp_path / "default.json"),
+        "demo",
+        argv=["--json", str(target)],
+    )
+    assert code == 0
+    assert target.exists()
+    assert not (tmp_path / "default.json").exists()

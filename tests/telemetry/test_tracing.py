@@ -1,0 +1,103 @@
+"""Tracing: per-thread nesting, worker absorption, and both export formats."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.telemetry import Tracer, chrome_trace, read_trace_jsonl, write_chrome_trace
+from repro.telemetry.tracing import write_trace_jsonl
+
+
+def test_nested_spans_link_parent_ids():
+    tracer = Tracer()
+    with tracer.span("outer", stage="train"):
+        with tracer.span("inner", epoch=1):
+            pass
+        with tracer.span("inner", epoch=2):
+            pass
+    records = {record["id"]: record for record in tracer.records()}
+    assert len(records) == 3
+    outer = next(r for r in records.values() if r["name"] == "outer")
+    inners = [r for r in records.values() if r["name"] == "inner"]
+    assert outer["parent_id"] is None
+    assert all(r["parent_id"] == outer["id"] for r in inners)
+    assert outer["attrs"] == {"stage": "train"}
+    assert sorted(r["attrs"]["epoch"] for r in inners) == [1, 2]
+    assert all(r["duration"] >= 0.0 for r in records.values())
+
+
+def test_span_set_and_error_attribute():
+    tracer = Tracer()
+    try:
+        with tracer.span("work") as span:
+            span.set(rows=10)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    [record] = tracer.records()
+    assert record["attrs"] == {"rows": 10, "error": "RuntimeError"}
+
+
+def test_threads_nest_independently():
+    tracer = Tracer()
+
+    def worker():
+        with tracer.span("thread-span"):
+            pass
+
+    with tracer.span("main-span"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    by_name = {record["name"]: record for record in tracer.records()}
+    # The thread's span opened while main-span was live, but on another
+    # thread — it must NOT be parented to it.
+    assert by_name["thread-span"]["parent_id"] is None
+    assert by_name["thread-span"]["tid"] != by_name["main-span"]["tid"]
+
+
+def test_absorb_keeps_worker_records_verbatim():
+    parent, worker = Tracer(), Tracer()
+    with worker.span("eval.rank_shard", shard=0):
+        pass
+    [worker_record] = worker.records()
+    fake = dict(worker_record, pid=99999)
+    parent.absorb([fake])
+    assert parent.records() == [fake]
+    assert len(parent) == 1
+    parent.clear()
+    assert parent.records() == []
+
+
+def test_trace_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("a", n=1):
+        with tracer.span("b"):
+            pass
+    path = write_trace_jsonl(tracer.records(), tmp_path / "nested" / "run.trace.jsonl")
+    assert path.exists()
+    assert read_trace_jsonl(path) == tracer.records()
+
+
+def test_chrome_trace_conversion(tmp_path):
+    records = [
+        {"name": "late", "id": 2, "parent_id": None, "pid": 7, "tid": 0,
+         "start": 100.5, "duration": 0.25, "attrs": {"k": "v"}},
+        {"name": "early", "id": 1, "parent_id": None, "pid": 7, "tid": 0,
+         "start": 100.0, "duration": 1.0, "attrs": {}},
+    ]
+    converted = chrome_trace(records)
+    assert converted["displayTimeUnit"] == "ms"
+    events = converted["traceEvents"]
+    # Sorted by (pid, tid, ts); timestamps are microseconds from the
+    # earliest start.
+    assert [event["name"] for event in events] == ["early", "late"]
+    assert events[0]["ts"] == 0.0
+    assert events[1]["ts"] == 500000.0
+    assert events[1]["dur"] == 250000.0
+    assert events[0]["ph"] == "X"
+    assert events[1]["args"] == {"k": "v"}
+
+    path = write_chrome_trace(records, tmp_path / "trace.json")
+    assert json.loads(path.read_text()) == converted
