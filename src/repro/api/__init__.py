@@ -28,8 +28,14 @@ _EXPORTS = {
     "spec_template": "spec",
     "diff_specs": "spec",
     "ArtifactStore": "artifacts",
+    "DiskArtifactStore": "artifacts",
     "artifact_key_string": "artifacts",
+    "default_cache_dir": "artifacts",
     "Runner": "pipeline",
+    "SweepResult": "sweep",
+    "expand_sweep": "sweep",
+    "load_sweep": "sweep",
+    "run_sweep": "sweep",
     "RunReport": "pipeline",
     "StageReport": "pipeline",
     "EvalOptions": "options",
@@ -45,9 +51,15 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS) + ["schema"]
 
 if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
-    from .artifacts import ArtifactStore, artifact_key_string  # noqa: F401
+    from .artifacts import (  # noqa: F401
+        ArtifactStore,
+        DiskArtifactStore,
+        artifact_key_string,
+        default_cache_dir,
+    )
     from .options import EvalOptions  # noqa: F401
     from .pipeline import Runner, RunReport, StageReport  # noqa: F401
+    from .sweep import SweepResult, expand_sweep, load_sweep, run_sweep  # noqa: F401
     from .serving import (  # noqa: F401
         PROTOCOL_VERSION,
         BatchResult,

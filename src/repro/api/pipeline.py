@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..telemetry import configure as configure_telemetry
 from ..telemetry import get_telemetry, profile_block, write_trace_jsonl
 from . import schema
-from .artifacts import ArtifactStore, artifact_key_string
+from .artifacts import ArtifactStore, DiskArtifactStore, artifact_key_string
 from .spec import ExperimentSpec, SpecValidationError
 
 logger = logging.getLogger("repro.pipeline")
@@ -51,27 +51,32 @@ def ensure_dataset(store: ArtifactStore, config, name: str):
     key = ("dataset", name)
     if key in store:
         return store[key]
-    if name in (schema.FB15K, schema.FB15K237):
-        fb, snapshot = fb15k_like(config.scale, config.seed)
-        store.put(("snapshot",), snapshot)
-        store.put(("dataset", schema.FB15K), fb)
-        store.put(("dataset", schema.FB15K237), make_fb15k237_like(fb))
-    elif name in (schema.WN18, schema.WN18RR):
-        wn = wn18_like(config.scale, config.seed + 3)
-        store.put(("dataset", schema.WN18), wn)
-        store.put(("dataset", schema.WN18RR), make_wn18rr_like(wn))
-    elif name in (schema.YAGO, schema.YAGO_DR):
-        yago = yago3_like(config.scale, config.seed + 7)
-        store.put(("dataset", schema.YAGO), yago)
-        store.put(
-            ("dataset", schema.YAGO_DR),
-            make_yago_dr_like(yago, theta_1=config.yago_theta, theta_2=config.yago_theta),
-        )
-    else:
-        raise KeyError(
-            f"unknown dataset key {name!r}; expected one of {schema.ALL_DATASETS} "
-            "or a previously ingested dataset name"
-        )
+    # Concurrent runs sharing a disk cache queue behind the entry lock; the
+    # losers find the winner's replicas on the re-probe instead of rebuilding.
+    with store.lock(key):
+        if key in store:
+            return store[key]
+        if name in (schema.FB15K, schema.FB15K237):
+            fb, snapshot = fb15k_like(config.scale, config.seed)
+            store.put(("snapshot",), snapshot)
+            store.put(("dataset", schema.FB15K), fb)
+            store.put(("dataset", schema.FB15K237), make_fb15k237_like(fb))
+        elif name in (schema.WN18, schema.WN18RR):
+            wn = wn18_like(config.scale, config.seed + 3)
+            store.put(("dataset", schema.WN18), wn)
+            store.put(("dataset", schema.WN18RR), make_wn18rr_like(wn))
+        elif name in (schema.YAGO, schema.YAGO_DR):
+            yago = yago3_like(config.scale, config.seed + 7)
+            store.put(("dataset", schema.YAGO), yago)
+            store.put(
+                ("dataset", schema.YAGO_DR),
+                make_yago_dr_like(yago, theta_1=config.yago_theta, theta_2=config.yago_theta),
+            )
+        else:
+            raise KeyError(
+                f"unknown dataset key {name!r}; expected one of {schema.ALL_DATASETS} "
+                "or a previously ingested dataset name"
+            )
     return store[key]
 
 
@@ -91,7 +96,13 @@ def register_dataset(store: ArtifactStore, dataset) -> None:
 def ingest_dataset_into_store(
     store: ArtifactStore, config, directory, name: Optional[str] = None, gzipped=None
 ):
-    """Stream-ingest a TSV directory through the bounded-memory pipeline."""
+    """Stream-ingest a TSV directory through the bounded-memory pipeline.
+
+    With ``config.ingest_fused`` the splits stay chunked array views that feed
+    training and sharded evaluation directly (see
+    :func:`repro.kg.streaming.ingest_dataset`); results are bit-identical to
+    the materialized path either way.
+    """
     from ..kg.streaming import ingest_dataset
 
     report = ingest_dataset(
@@ -100,6 +111,7 @@ def ingest_dataset_into_store(
         chunk_size=config.ingest_chunk_size,
         max_queue_chunks=config.ingest_max_queue_chunks,
         gzipped=gzipped,
+        fused=getattr(config, "ingest_fused", False),
     )
     register_dataset(store, report.dataset)
     store.put(("ingest_report", report.dataset.name), report)
@@ -115,6 +127,11 @@ def ensure_redundancy(store: ArtifactStore, config, dataset_name: str):
         theta = (
             config.yago_theta if dataset_name.startswith("YAGO") else config.audit_theta
         )
+        index = getattr(dataset, "audit_index", None)
+        if index is not None:
+            # Fused-ingest datasets carry the pair index built during the
+            # stream, so the audit never materializes the full triple set.
+            return index.report(theta, theta)
         return analyse_redundancy(dataset.all_triples(), theta, theta)
 
     return store.ensure(("redundancy", dataset_name), build)
@@ -150,20 +167,17 @@ def ensure_scorer(store: ArtifactStore, config, model_name: str, dataset_name: s
     from ..rules.amie import AmieConfig, AmieMiner
     from ..rules.predictor import RuleBasedPredictor
 
-    key = ("scorer", model_name, dataset_name)
-    if key in store:
-        return store[key]
-    dataset = ensure_dataset(store, config, dataset_name)
-    if model_name == "AMIE":
-        rules = AmieMiner(dataset.train, AmieConfig()).mine()
-        scorer = RuleBasedPredictor(rules.rules, dataset.train, dataset.num_entities)
-    elif model_name == "SimpleModel":
-        scorer = SimpleRuleModel(dataset.train, dataset.num_entities)
-    elif model_name == "CartesianProduct":
-        scorer = CartesianProductPredictor(
-            dataset.train, dataset.num_entities, density_threshold=0.75
-        )
-    else:
+    def build():
+        dataset = ensure_dataset(store, config, dataset_name)
+        if model_name == "AMIE":
+            rules = AmieMiner(dataset.train, AmieConfig()).mine()
+            return RuleBasedPredictor(rules.rules, dataset.train, dataset.num_entities)
+        if model_name == "SimpleModel":
+            return SimpleRuleModel(dataset.train, dataset.num_entities)
+        if model_name == "CartesianProduct":
+            return CartesianProductPredictor(
+                dataset.train, dataset.num_entities, density_threshold=0.75
+            )
         model = make_model(
             model_name,
             dataset.num_entities,
@@ -178,8 +192,9 @@ def ensure_scorer(store: ArtifactStore, config, model_name: str, dataset_name: s
                 Path(training.checkpoint_dir) / f"{model_name}--{dataset_name}"
             )
         train_model(model, dataset, training)
-        scorer = model
-    return store.put(key, scorer)
+        return model
+
+    return store.ensure(("scorer", model_name, dataset_name), build)
 
 
 def ensure_evaluation(store: ArtifactStore, config, model_name: str, dataset_name: str):
@@ -187,17 +202,16 @@ def ensure_evaluation(store: ArtifactStore, config, model_name: str, dataset_nam
     from ..eval.ranking import LinkPredictionEvaluator
     from .options import EvalOptions
 
-    key = ("evaluation", model_name, dataset_name)
-    if key in store:
-        return store[key]
-    dataset = ensure_dataset(store, config, dataset_name)
-    evaluator = LinkPredictionEvaluator(
-        dataset, options=EvalOptions.from_experiment_config(config)
-    )
-    result = evaluator.evaluate(
-        ensure_scorer(store, config, model_name, dataset_name), model_name=model_name
-    )
-    return store.put(key, result)
+    def build():
+        dataset = ensure_dataset(store, config, dataset_name)
+        evaluator = LinkPredictionEvaluator(
+            dataset, options=EvalOptions.from_experiment_config(config)
+        )
+        return evaluator.evaluate(
+            ensure_scorer(store, config, model_name, dataset_name), model_name=model_name
+        )
+
+    return store.ensure(("evaluation", model_name, dataset_name), build)
 
 
 # --------------------------------------------------------------------------- reports
@@ -222,8 +236,9 @@ class RunReport:
     rows: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
     #: Rendered human-readable report (the ``report`` stage's output).
     text: str = ""
-    #: Observability section (None when telemetry was off): the metrics
-    #: snapshot, span count, per-stage profiles and the trace destination.
+    #: Observability section (None when telemetry was off and no disk cache
+    #: was in play): the metrics snapshot, span count, per-stage profiles,
+    #: the trace destination and the artifact-cache hit/miss counters.
     telemetry: Optional[Dict[str, Any]] = None
 
     def stage(self, name: str) -> StageReport:
@@ -243,14 +258,25 @@ class Runner:
     run (or a run of later stages) reuses everything already built.
     """
 
-    def __init__(self, spec: ExperimentSpec, store: Optional[ArtifactStore] = None) -> None:
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        store: Optional[ArtifactStore] = None,
+        cache_dir: Optional[Any] = None,
+    ) -> None:
         errors = spec.validate()
         if errors:
             raise SpecValidationError(errors)
         self.spec = spec
         fingerprint = spec.fingerprint()
         if store is None:
-            store = ArtifactStore(fingerprint)
+            if cache_dir is not None:
+                # Opt into the shared on-disk cache: artifacts land under
+                # <cache_dir>/<fingerprint>/ and a later run (or a parallel
+                # one) reuses them instead of recomputing.
+                store = DiskArtifactStore(fingerprint, cache_dir=cache_dir)
+            else:
+                store = ArtifactStore(fingerprint)
         elif store.fingerprint and store.fingerprint != fingerprint:
             raise ValueError(
                 f"artifact store was built for spec {store.fingerprint}, "
@@ -336,19 +362,31 @@ class Runner:
                 stage_report.seconds,
                 len(stage_report.produced),
             )
+        cache_stats = getattr(self.store, "stats", None)
         if telemetry.enabled:
+            if cache_stats is not None:
+                # One span carrying the run's cache traffic, emitted before
+                # the trace is collected so it lands in the record stream.
+                with telemetry.span("pipeline.cache", spec=self.spec.name, **cache_stats):
+                    pass
             records = telemetry.trace_records()
             self.store.put(("telemetry", "trace"), records)
             report.telemetry = {
                 "metrics": telemetry.snapshot(),
                 "span_count": len(records),
             }
+            if cache_stats is not None:
+                report.telemetry["cache"] = dict(cache_stats)
             if profiles:
                 report.telemetry["profile"] = profiles
             if self.config.telemetry_trace_path:
                 trace_path = write_trace_jsonl(records, self.config.telemetry_trace_path)
                 report.telemetry["trace_path"] = str(trace_path)
                 logger.info("[%s] trace written to %s", self.spec.name, trace_path)
+        elif cache_stats is not None:
+            # A disk-cached run surfaces its hit/miss traffic even with
+            # tracing off — callers (sweep, CI gates) read it from the report.
+            report.telemetry = {"cache": dict(cache_stats)}
         return report
 
     # -- source materialization ----------------------------------------------------

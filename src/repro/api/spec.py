@@ -57,8 +57,11 @@ __all__ = [
     "TelemetrySpec",
     "SpecError",
     "SpecValidationError",
+    "SweepAxis",
+    "SWEEPABLE_SECTIONS",
     "spec_template",
     "diff_specs",
+    "validate_sweep_table",
 ]
 
 
@@ -107,6 +110,7 @@ class IngestSpec:
     chunk_size: int = schema.INGEST_DEFAULTS["chunk_size"]
     max_queue_chunks: int = schema.INGEST_DEFAULTS["max_queue_chunks"]
     gzipped: Optional[bool] = None
+    fused: bool = schema.INGEST_DEFAULTS["fused"]
 
 
 @dataclass
@@ -169,7 +173,12 @@ _SECTION_CLASSES = {
 }
 
 _TOP_LEVEL_KEYS = ("name", "datasets", "models", "include_amie", "stages")
-_KNOWN_TOP_LEVEL = tuple(_TOP_LEVEL_KEYS) + tuple(_SECTION_CLASSES) + ("overrides",)
+_KNOWN_TOP_LEVEL = tuple(_TOP_LEVEL_KEYS) + tuple(_SECTION_CLASSES) + ("overrides", "sweep")
+
+#: Sections a ``[sweep.<section>.<knob>]`` grid axis may vary.  ``telemetry``
+#: is excluded from fingerprints, so sweeping it would expand cells that all
+#: key to the same artifacts — rejected up front instead of silently aliasing.
+SWEEPABLE_SECTIONS = tuple(name for name in _SECTION_CLASSES if name != "telemetry")
 
 
 # --------------------------------------------------------------------------- the spec
@@ -287,10 +296,14 @@ class ExperimentSpec:
 
         The ``telemetry`` section is excluded: observability settings change
         what a run *records*, never what it *computes*, so tracing a spec
-        must not re-key (and thereby rebuild) its artifacts.
+        must not re-key (and thereby rebuild) its artifacts.  ``ingest.fused``
+        is excluded for the same reason: it selects an execution strategy
+        whose results are bit-identical to the materializing path, so fused
+        and materialized runs of one spec share cache entries.
         """
         data = self.to_dict()
         data.pop("telemetry", None)
+        data.get("ingest", {}).pop("fused", None)
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -368,6 +381,7 @@ def _experiment_config_kwargs(merged: Dict[str, Dict[str, Any]]) -> Dict[str, An
         score_block_budget=evaluation["score_block_budget"],
         ingest_chunk_size=ingest["chunk_size"],
         ingest_max_queue_chunks=ingest["max_queue_chunks"],
+        ingest_fused=ingest["fused"],
         audit_theta=audit["theta"],
         yago_theta=audit["yago_theta"],
         telemetry_enabled=telemetry["enabled"],
@@ -579,6 +593,85 @@ def _validate_overrides(
     return overrides
 
 
+# --------------------------------------------------------------------------- sweep grids
+#: One grid axis: ``(section, knob, values)`` in deterministic schema order.
+SweepAxis = Tuple[str, str, List[Any]]
+
+
+def validate_sweep_table(raw: Any, errors: List[SpecError]) -> List[SweepAxis]:
+    """Validate a ``[sweep]`` table and return its axes in deterministic order.
+
+    The table maps sections to knobs to *lists* of values
+    (``[sweep.model.dim] = [16, 32]`` style); every value passes the same
+    knob checks a spec file does.  Axes come back ordered by schema section
+    order, then knob declaration order — independent of file order, so a
+    reshuffled sweep file expands to the same grid.
+    """
+    axes: List[SweepAxis] = []
+    if not isinstance(raw, dict):
+        errors.append(SpecError("sweep", f"expected a table, got {raw!r}"))
+        return axes
+    by_path: Dict[Tuple[str, str], List[Any]] = {}
+    for section_name, knobs in raw.items():
+        if section_name not in SWEEPABLE_SECTIONS:
+            errors.append(
+                SpecError(
+                    f"sweep.{section_name}",
+                    f"not a sweepable section (expected one of {', '.join(SWEEPABLE_SECTIONS)})",
+                    suggestion=_suggest(section_name, SWEEPABLE_SECTIONS),
+                )
+            )
+            continue
+        if not isinstance(knobs, dict):
+            errors.append(
+                SpecError(f"sweep.{section_name}", f"expected a table, got {knobs!r}")
+            )
+            continue
+        section_schema = schema.section(section_name)
+        known = [knob.name for knob in section_schema.knobs]
+        for knob_name, values in knobs.items():
+            path = f"sweep.{section_name}.{knob_name}"
+            if knob_name not in known:
+                errors.append(
+                    SpecError(path, "unknown option", suggestion=_suggest(knob_name, known))
+                )
+                continue
+            if not isinstance(values, (list, tuple)) or not values:
+                errors.append(
+                    SpecError(path, f"expected a non-empty list of values, got {values!r}")
+                )
+                continue
+            knob = section_schema.knob(knob_name)
+            checked: List[Any] = []
+            seen_repr = set()
+            for index, value in enumerate(values):
+                value_errors: List[SpecError] = []
+                # _check_knob also coerces (int -> float on float knobs), and
+                # the coerced value is what a cell spec stores — using the raw
+                # value here would fingerprint `margin = [1]` differently
+                # from `margin = [1.0]`.
+                coerced = _check_knob(
+                    section_name, knob, value, f"{path}[{index}]", value_errors
+                )
+                errors.extend(value_errors)
+                if not value_errors:
+                    token = repr(coerced)
+                    if token in seen_repr:
+                        errors.append(
+                            SpecError(f"{path}[{index}]", f"duplicate value {value!r}")
+                        )
+                    seen_repr.add(token)
+                    checked.append(coerced)
+            if checked:
+                by_path[(section_name, knob_name)] = checked
+    for section_obj in schema.SECTIONS:
+        for knob in section_obj.knobs:
+            values = by_path.get((section_obj.name, knob.name))
+            if values is not None:
+                axes.append((section_obj.name, knob.name, values))
+    return axes
+
+
 def _spec_from_dict(data: Dict[str, Any]) -> Tuple["ExperimentSpec", List[SpecError]]:
     errors: List[SpecError] = []
     if not isinstance(data, dict):
@@ -653,6 +746,13 @@ def _spec_from_dict(data: Dict[str, Any]) -> Tuple["ExperimentSpec", List[SpecEr
 
     if "overrides" in data:
         spec.overrides = _validate_overrides(data["overrides"], valid_datasets, errors)
+
+    if "sweep" in data:
+        # Validated here so `spec validate` rejects bad grids, but the axes
+        # are not part of the spec object (and never of its fingerprint):
+        # `run` executes the base cell, `repro-kgc sweep` expands the grid
+        # through :mod:`repro.api.sweep`.
+        validate_sweep_table(data["sweep"], errors)
 
     # Cross-field rules.
     if spec.dataset.source and not spec.dataset.source_name:

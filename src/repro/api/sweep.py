@@ -1,0 +1,204 @@
+"""Spec-grid expansion and execution behind ``repro-kgc sweep``.
+
+A *sweep file* is an ordinary experiment spec plus a ``[sweep]`` table whose
+entries map knobs to **lists** of values::
+
+    [sweep.model]
+    dim = [16, 32]
+
+    [sweep.training]
+    epochs = [2, 4]
+
+The grid is the cartesian product of the axes (here 4 cells), expanded in
+deterministic schema order — section order, then knob declaration order — so
+a reshuffled file produces the same cells in the same order.  Each cell is
+the base spec with the axis values applied; it fingerprints like any other
+spec, which is the whole point: cells execute through the shared
+:class:`~repro.api.artifacts.DiskArtifactStore` cache directory, so a cell
+that coincides with a previous run (or a previous sweep, or another process's
+in-flight sweep — the advisory locks make that safe) reuses its artifacts
+instead of recomputing, and re-running a sweep after editing one axis only
+recomputes the new cells.
+
+Bit-identity contract: a sweep cell produces exactly the metrics a plain
+``repro-kgc run`` of the equivalent spec would — concurrent and serial sweeps
+of the same grid are bit-identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .pipeline import RunReport, Runner
+from .spec import (
+    ExperimentSpec,
+    SpecValidationError,
+    SweepAxis,
+    _format_for,
+    _spec_from_dict,
+    validate_sweep_table,
+)
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "expand_sweep",
+    "load_sweep",
+    "run_sweep",
+]
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:  # pragma: no cover
+        tomllib = None  # type: ignore[assignment]
+
+import json
+
+from .spec import SpecError
+
+
+def load_sweep(path: Union[str, Path]) -> Tuple[ExperimentSpec, List[SweepAxis]]:
+    """Read a sweep file: the base spec plus its validated grid axes.
+
+    A file without a ``[sweep]`` table is a valid single-cell sweep (the base
+    spec itself), so ``repro-kgc sweep`` degrades gracefully to ``run``.
+    Validation problems of the base spec and the grid are reported together.
+    """
+    path = Path(path)
+    format = _format_for(path)
+    text = path.read_text()
+    if format == "toml":
+        if tomllib is None:  # pragma: no cover - only on 3.10 without tomli
+            raise RuntimeError(
+                "no TOML parser available: Python >= 3.11 (tomllib) or the "
+                "'tomli' package is required to load TOML sweeps"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise SpecValidationError([SpecError("<toml>", str(error))]) from error
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecValidationError([SpecError("<json>", str(error))]) from error
+    if not isinstance(data, dict):
+        raise SpecValidationError([SpecError("<root>", "sweep must be a table/object")])
+    data = dict(data)
+    sweep_raw = data.pop("sweep", None)
+    spec, errors = _spec_from_dict(data)
+    axes: List[SweepAxis] = []
+    if sweep_raw is not None:
+        axes = validate_sweep_table(sweep_raw, errors)
+    if errors:
+        raise SpecValidationError(errors)
+    return spec, axes
+
+
+@dataclass
+class SweepCell:
+    """One grid cell: a concrete spec plus the axis values that shaped it."""
+
+    #: Human-readable cell label, e.g. ``"model.dim=16,training.epochs=2"``
+    #: (``"base"`` for the single cell of an axis-free sweep).
+    label: str
+    #: The swept values of this cell, keyed by ``"section.knob"``.
+    values: Dict[str, Any]
+    #: The cell's complete spec (base spec with the values applied).  Its
+    #: fingerprint keys the shared cache exactly like a plain run's would.
+    spec: ExperimentSpec
+
+
+def expand_sweep(base: ExperimentSpec, axes: Sequence[SweepAxis]) -> List[SweepCell]:
+    """The cartesian grid of ``axes`` over ``base``, in deterministic order.
+
+    The cell specs keep the base spec's ``name`` untouched: a cell whose knob
+    values coincide with a plain spec fingerprints identically to it, so the
+    two share cache entries.
+    """
+    if not axes:
+        return [SweepCell(label="base", values={}, spec=copy.deepcopy(base))]
+    cells: List[SweepCell] = []
+    value_lists = [axis_values for _, _, axis_values in axes]
+    for combination in itertools.product(*value_lists):
+        spec = copy.deepcopy(base)
+        values: Dict[str, Any] = {}
+        parts: List[str] = []
+        for (section_name, knob_name, _), value in zip(axes, combination):
+            setattr(getattr(spec, section_name), knob_name, value)
+            values[f"{section_name}.{knob_name}"] = value
+            parts.append(f"{section_name}.{knob_name}={value}")
+        cells.append(SweepCell(label=",".join(parts), values=values, spec=spec))
+    return cells
+
+
+@dataclass
+class SweepResult:
+    """What a sweep executed: per-cell reports plus the consolidated table."""
+
+    spec_name: str
+    cells: List[SweepCell] = field(default_factory=list)
+    #: One :class:`RunReport` per cell, in cell order.
+    reports: List[RunReport] = field(default_factory=list)
+    #: Consolidated evaluation rows: each cell's paper-table rows prefixed
+    #: with the cell label and dataset.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Rendered consolidated summary table.
+    text: str = ""
+    seconds: float = 0.0
+
+    def report_for(self, label: str) -> RunReport:
+        for cell, report in zip(self.cells, self.reports):
+            if cell.label == label:
+                return report
+        raise KeyError(f"no sweep cell labelled {label!r}")
+
+
+def run_sweep(
+    base: ExperimentSpec,
+    axes: Sequence[SweepAxis],
+    cache_dir: Optional[Any] = None,
+    stages: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[int, int, SweepCell], None]] = None,
+) -> SweepResult:
+    """Execute every cell of the grid through one shared disk cache.
+
+    ``cache_dir=None`` keeps each cell on a private in-memory store (no
+    persistence — mainly for tests); with a directory, cells write through
+    :class:`~repro.api.artifacts.DiskArtifactStore` under their own
+    fingerprints, so repeated or concurrent sweeps share work per cell.
+    ``progress`` is called as ``progress(index, total, cell)`` before each
+    cell executes.
+    """
+    from ..core.reporting import render_table
+
+    cells = expand_sweep(base, axes)
+    result = SweepResult(spec_name=base.name, cells=cells)
+    started = time.perf_counter()
+    for index, cell in enumerate(cells):
+        if progress is not None:
+            progress(index, len(cells), cell)
+        runner = Runner(cell.spec, cache_dir=cache_dir)
+        report = runner.run(stages)
+        result.reports.append(report)
+        for dataset_name, rows in report.rows.items():
+            for row in rows:
+                merged: Dict[str, Any] = {"cell": cell.label}
+                merged.update(row)
+                result.rows.append(merged)
+    result.seconds = time.perf_counter() - started
+    if result.rows:
+        result.text = render_table(
+            result.rows, title=f"Sweep {base.name} ({len(cells)} cell(s))"
+        )
+    else:
+        result.text = f"(sweep {base.name!r}: {len(cells)} cell(s), no evaluation rows)"
+    return result

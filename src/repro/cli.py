@@ -1,10 +1,17 @@
 """Command-line interface for the reproduction toolkit.
 
-Seven subcommands cover the workflows a downstream user needs:
+Eight subcommands cover the workflows a downstream user needs:
 
 ``repro-kgc run``
     Execute a declarative experiment spec (``.toml`` or ``.json``) through the
-    staged pipeline runner — the recommended way to run experiments.
+    staged pipeline runner — the recommended way to run experiments.  With
+    ``--cache-dir`` the run writes through the content-addressed disk cache,
+    so a repeated run reuses every artifact bit-identically.
+``repro-kgc sweep``
+    Expand a spec with a ``[sweep]`` table (knob -> list of values) into its
+    cartesian grid and execute every cell through one shared disk cache:
+    repeated, edited and concurrent sweeps only compute cells they have not
+    seen before.  Prints one consolidated table across all cells.
 ``repro-kgc spec``
     Work with spec files: ``init`` writes a fully commented template,
     ``validate`` checks files against the knob schema (reporting *all*
@@ -290,7 +297,8 @@ def command_run(args: argparse.Namespace) -> int:
         setattr(getattr(spec, section_name), knob_name, value)
     if spec.telemetry.trace_path or spec.telemetry.profile:
         spec.telemetry.enabled = True
-    runner = Runner(spec)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    runner = Runner(spec, cache_dir=cache_dir)
     stages = None
     if args.stages:
         stages = [token.strip() for token in args.stages.split(",") if token.strip()]
@@ -304,6 +312,13 @@ def command_run(args: argparse.Namespace) -> int:
             )
     report = runner.run(stages=stages)
     print(f"spec {report.spec_name!r} (fingerprint {report.fingerprint})")
+    cache_stats = getattr(runner.store, "stats", None)
+    if cache_dir is not None and cache_stats is not None:
+        print(
+            f"cache {cache_dir}: {cache_stats['hit']} hit(s), "
+            f"{cache_stats['miss']} miss(es), {cache_stats['write']} write(s), "
+            f"{cache_stats['evict']} evict(s)"
+        )
     print(render_table(
         [
             {
@@ -315,7 +330,7 @@ def command_run(args: argparse.Namespace) -> int:
         ],
         title="Stages",
     ))
-    if report.telemetry:
+    if report.telemetry and "span_count" in report.telemetry:
         metrics = report.telemetry.get("metrics", {})
         series = sum(len(group) for group in metrics.values())
         print(
@@ -327,6 +342,60 @@ def command_run(args: argparse.Namespace) -> int:
     if report.text:
         print()
         print(report.text)
+    return 0
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    """Expand a ``[sweep]`` grid and run every cell through one shared cache."""
+    from .api.artifacts import default_cache_dir
+    from .api.sweep import load_sweep, run_sweep
+
+    _configure_logging(args.verbose, args.quiet)
+    try:
+        base, axes = load_sweep(Path(args.spec))
+    except FileNotFoundError:
+        raise SystemExit(f"sweep file not found: {args.spec}")
+    except (SpecValidationError, RuntimeError) as error:
+        raise SystemExit(f"{args.spec}: {error}")
+    except ValueError as error:  # unknown suffix
+        raise SystemExit(str(error))
+    stages = None
+    if args.stages:
+        stages = [token.strip() for token in args.stages.split(",") if token.strip()]
+        unknown = [stage for stage in stages if stage not in schema.STAGES]
+        if unknown:
+            raise SystemExit(
+                f"unknown stage(s) {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(schema.STAGES)}"
+            )
+    # Caching is the default for sweeps (unlike `run`): grid cells share
+    # artifacts across repeats, edits and concurrent processes through the
+    # content-addressed store; --no-cache opts back into in-memory stores.
+    cache_dir = None if args.no_cache else Path(args.cache_dir or default_cache_dir())
+    logger = logging.getLogger("repro.sweep")
+
+    def progress(index: int, total: int, cell) -> None:
+        logger.info("[sweep %d/%d] %s", index + 1, total, cell.label)
+
+    result = run_sweep(base, axes, cache_dir=cache_dir, stages=stages, progress=progress)
+    grid = " x ".join(
+        f"{section}.{knob}({len(values)})" for section, knob, values in axes
+    ) or "base spec only"
+    print(
+        f"sweep {base.name!r}: {len(result.cells)} cell(s) [{grid}] "
+        f"in {result.seconds:.1f}s"
+    )
+    if cache_dir is not None:
+        totals = {"hit": 0, "miss": 0, "write": 0, "evict": 0}
+        for report in result.reports:
+            for event, count in (report.telemetry or {}).get("cache", {}).items():
+                totals[event] = totals.get(event, 0) + count
+        print(
+            f"cache {cache_dir}: {totals['hit']} hit(s), {totals['miss']} miss(es), "
+            f"{totals['write']} write(s), {totals['evict']} evict(s)"
+        )
+    print()
+    print(result.text)
     return 0
 
 
@@ -461,13 +530,18 @@ def command_ingest(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             max_queue_chunks=args.max_queue_chunks,
             gzipped=args.gzip,
-            observers=(audit_index.observe,),
+            # The fused path grows its own audit index; attaching ours too
+            # would double the pair-set memory for no extra information.
+            observers=() if args.fused else (audit_index.observe,),
             progress=report_progress if args.progress else None,
             progress_every_chunks=args.progress_every,
+            fused=args.fused,
         )
     except DatasetIOError as error:
         raise SystemExit(f"ingest failed: {error}")
     dataset = report.dataset
+    if args.fused:
+        audit_index = dataset.audit_index
 
     print(render_table(
         [report.statistics.as_row()],
@@ -717,9 +791,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"comma-separated stage subset (default: the spec's; from: {', '.join(schema.STAGES)})",
     )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist artifacts in this content-addressed cache directory; "
+        "a repeated run reuses them bit-identically (default: no persistence)",
+    )
     _add_schema_flags(run, "run", schema.TELEMETRY)
     add_verbosity(run)
     run.set_defaults(handler=command_run)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="expand a spec's [sweep] grid and run every cell through one shared cache",
+    )
+    sweep.add_argument(
+        "spec", help="experiment spec file with an optional [sweep] table (.toml or .json)"
+    )
+    sweep.add_argument(
+        "--stages",
+        default=None,
+        help=f"comma-separated stage subset (default: the spec's; from: {', '.join(schema.STAGES)})",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared artifact cache directory (default: ~/.cache/repro-kgc or $REPRO_CACHE_DIR)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every cell on a private in-memory store (no persistence)",
+    )
+    add_verbosity(sweep)
+    sweep.set_defaults(handler=command_sweep)
 
     spec = subparsers.add_parser("spec", help="create, validate and diff experiment specs")
     spec_sub = spec.add_subparsers(dest="spec_command", required=True)

@@ -47,7 +47,7 @@ bit-identical to the single-process batched path at any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -178,6 +178,7 @@ class LinkPredictionEvaluator:
         filter_triples: Optional[Iterable[Triple]] = None,
         extra_ground_truth: Optional[TripleSet] = None,
         options: Optional[EvalOptions] = None,
+        known_index: Optional[Any] = None,
         **legacy,
     ) -> None:
         if legacy:
@@ -206,6 +207,16 @@ class LinkPredictionEvaluator:
         #: Max elements of a resident score block; a value enables the fused
         #: score+rank path (never materializes the (B, E) host matrix).
         self.score_block_budget = options.score_block_budget
+        if known_index is None and filter_triples is None and extra_ground_truth is None:
+            # Fused-ingest datasets carry the index grown during the stream
+            # (see repro.eval.sharding.StreamingKnownIndexBuilder).
+            known_index = getattr(dataset, "known_index", None)
+        if known_index is not None and filter_triples is None and extra_ground_truth is None:
+            # The streamed index groups and sorts identically, so the filter
+            # arrays — and every filtered rank — are bit-identical.
+            self._known_tails: Dict[Tuple[int, int], np.ndarray] = known_index.tail_filters()
+            self._known_heads: Dict[Tuple[int, int], np.ndarray] = known_index.head_filters()
+            return
         known = set(filter_triples) if filter_triples is not None else dataset.known_triples()
         if extra_ground_truth is not None:
             known |= extra_ground_truth.as_set()

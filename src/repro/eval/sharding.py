@@ -61,6 +61,48 @@ ShardEntry = Tuple[Query, np.ndarray]
 _WORKER_STATE: Optional[Tuple[Any, ...]] = None
 
 
+class StreamingKnownIndexBuilder:
+    """The filtered-evaluation known-completion index, grown during ingest.
+
+    A :data:`~repro.kg.streaming.ChunkObserver`: hook :meth:`observe` into
+    the streaming pipeline and every chunk's newly-added encoded triples
+    extend the per-query candidate sets — the same
+    ``(h, r) → {t}`` / ``(r, t) → {h}`` grouping
+    :class:`repro.eval.ranking.LinkPredictionEvaluator` builds from
+    ``dataset.known_triples()``.  Per-split dedup plus set semantics make
+    cross-split duplicates harmless, and the finalized arrays use the same
+    sorted construction, so filtered ranks are bit-identical to the
+    materialized path.  On the fused ingest path the builder rides along as
+    ``dataset.known_index`` and the evaluator picks it up automatically,
+    skipping its full-scan index build.
+    """
+
+    def __init__(self) -> None:
+        self._tails: Dict[Query, set] = {}
+        self._heads: Dict[Query, set] = {}
+
+    def observe(self, split: str, added_triples: Sequence[Tuple[int, int, int]]) -> None:
+        """Fold one chunk's newly-added encoded triples into the index."""
+        del split  # the filter pools every split, as dataset.known_triples() does
+        for head, relation, tail in added_triples:
+            self._tails.setdefault((head, relation), set()).add(tail)
+            self._heads.setdefault((relation, tail), set()).add(head)
+
+    def tail_filters(self) -> Dict[Query, np.ndarray]:
+        """Sorted candidate arrays per ``(h, r)`` query (tail prediction)."""
+        return {
+            query: np.fromiter(sorted(values), dtype=np.int64, count=len(values))
+            for query, values in self._tails.items()
+        }
+
+    def head_filters(self) -> Dict[Query, np.ndarray]:
+        """Sorted candidate arrays per ``(r, t)`` query (head prediction)."""
+        return {
+            query: np.fromiter(sorted(values), dtype=np.int64, count=len(values))
+            for query, values in self._heads.items()
+        }
+
+
 # ---------------------------------------------------------------------------- planning
 def resolve_start_method(preferred: Optional[str] = None) -> str:
     """The multiprocessing start method the evaluator should use.

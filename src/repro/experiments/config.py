@@ -114,6 +114,10 @@ class ExperimentConfig:
     #: Bounded-queue depth (in chunks) of the ingest pipeline; peak
     #: labelled-triple residency is ``ingest_chunk_size * (ingest_max_queue_chunks + 2)``.
     ingest_max_queue_chunks: int = INGEST_DEFAULTS["max_queue_chunks"]
+    #: Fused stream-to-shard execution: ingested splits stay array views that
+    #: feed training and sharded evaluation directly (bit-identical results,
+    #: no indexed Dataset materialization).
+    ingest_fused: bool = INGEST_DEFAULTS["fused"]
     #: Row-indexed sparse gradients + lazy per-row optimizer updates
     #: (``False`` = the dense reference training path).
     sparse_updates: bool = TRAINING_DEFAULTS["sparse_updates"]
