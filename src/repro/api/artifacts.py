@@ -16,6 +16,8 @@ key                        artifact
 ``("scorer", m, d)``       trained model / rule / baseline scorer
 ``("evaluation", m, d)``   :class:`repro.eval.ranking.EvaluationResult`
 ``("ingest_report", name)``:class:`repro.kg.streaming.IngestReport`
+``("dataset_snapshot", d, v)`` delta-advanced dataset ``d`` at snapshot ``v``
+``("delta_log", name)``    verified delta-log summary applied to ``name``
 ``("telemetry", "trace")`` span records of the last traced ``Runner.run``
 ========================== ==================================================
 
@@ -107,6 +109,11 @@ def _dataset_of(key: ArtifactKey) -> Optional[str]:
         return key[1]
     if kind in ("scorer", "evaluation"):
         return key[2]
+    # ``dataset_snapshot`` / ``delta_log`` are deliberately *not* scoped to
+    # their dataset: a snapshot's version component fingerprints the applied
+    # log prefix, so the key itself changes whenever the content would — a
+    # generation bump (which installing a new snapshot causes) must not
+    # evict the still-valid historical states.
     return None
 
 
@@ -195,17 +202,31 @@ class DiskArtifactStore(ArtifactStore):
     The in-memory dict of the base class acts as a per-process read cache on
     top; all coherence (locking, generations, integrity hashes) lives at the
     disk layer so any number of processes can share one directory.
+
+    With ``max_bytes`` set, the cache directory as a whole is **size
+    bounded**: after every write, least-recently-used fingerprint
+    partitions are evicted until the total drops under the budget.  The
+    partition this store serves (the one in use) is never evicted, each
+    partition's recency is stamped in a ``.last_used`` file on every hit
+    and write, and evictions count into ``stats["evict"]`` — the same
+    counter the CLI's cache summary line prints.
     """
+
+    #: Per-partition recency stamp consulted by the LRU eviction sweep.
+    PARTITION_STAMP = ".last_used"
 
     def __init__(
         self,
         fingerprint: str = "",
         cache_dir: Optional[Any] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         super().__init__(fingerprint)
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
         #: Directory holding every entry of this spec fingerprint.
         self.root = self.cache_dir / (fingerprint or "unstamped")
+        #: Total on-disk budget across every partition (``None`` = unbounded).
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self._locks_dir = self.root / ".locks"
         self._quarantine_dir = self.root / ".quarantine"
         self._generations_path = self.root / "generations.json"
@@ -219,6 +240,71 @@ class DiskArtifactStore(ArtifactStore):
         # nested acquisition (e.g. ``put`` inside a held ``lock``) must be
         # re-entrant here while distinct threads/processes still contend.
         self._held_locks = threading.local()
+        self._touch_partition()
+
+    # -- size-bounded LRU over partitions ----------------------------------------
+    def _touch_partition(self) -> None:
+        """Stamp this partition as just-used (best effort)."""
+        try:
+            (self.root / self.PARTITION_STAMP).touch()
+        except OSError:  # pragma: no cover - stamping is advisory
+            pass
+
+    @staticmethod
+    def _partition_size(partition: Path) -> int:
+        total = 0
+        for directory, _dirs, files in os.walk(partition, onerror=lambda _e: None):
+            for name in files:
+                try:
+                    total += os.stat(os.path.join(directory, name)).st_size
+                except OSError:
+                    continue
+        return total
+
+    def _partition_used_at(self, partition: Path) -> float:
+        for probe in (partition / self.PARTITION_STAMP, partition):
+            try:
+                return os.stat(probe).st_mtime
+            except OSError:
+                continue
+        return 0.0
+
+    def _enforce_size_limit(self) -> None:
+        """Evict LRU fingerprint partitions until the cache fits ``max_bytes``.
+
+        Whole partitions are the eviction unit: a spec's artifacts only make
+        sense together, and evicting a partition mid-set would look like
+        corruption to its next reader.  The partition in use is exempt, so a
+        budget smaller than the live working set degrades to "keep only the
+        current partition".  Concurrent writers race benignly: a process
+        whose partition is evicted under it quarantines the loss and
+        recomputes (the store's standard crash-safety path).
+        """
+        if not self.max_bytes:
+            return
+        with self._flock(self.cache_dir / ".evict.lock"):
+            try:
+                partitions = [
+                    child
+                    for child in self.cache_dir.iterdir()
+                    if child.is_dir() and not child.name.startswith(".")
+                ]
+            except OSError:  # pragma: no cover - cache dir vanished
+                return
+            sizes = {partition: self._partition_size(partition) for partition in partitions}
+            total = sum(sizes.values())
+            if total <= self.max_bytes:
+                return
+            victims = sorted(
+                (partition for partition in partitions if partition != self.root),
+                key=self._partition_used_at,
+            )
+            for victim in victims:
+                if total <= self.max_bytes:
+                    break
+                shutil.rmtree(victim, ignore_errors=True)
+                total -= sizes[victim]
+                self._count("evict")
 
     # -- naming ------------------------------------------------------------------
     def _entry_name(self, key: ArtifactKey) -> str:
@@ -348,6 +434,8 @@ class DiskArtifactStore(ArtifactStore):
             shutil.rmtree(tmp, ignore_errors=True)
             raise
         self._count("write")
+        self._touch_partition()
+        self._enforce_size_limit()
 
     # -- loading -----------------------------------------------------------------
     def _read_manifest(self, entry: Path) -> Optional[Dict[str, Any]]:
@@ -430,6 +518,7 @@ class DiskArtifactStore(ArtifactStore):
             self._count("miss")
             return _MISSING
         self._count("hit")
+        self._touch_partition()
         return value
 
     # -- mapping surface ---------------------------------------------------------

@@ -118,6 +118,68 @@ def ingest_dataset_into_store(
     return report.dataset
 
 
+def apply_spec_deltas(store: ArtifactStore, config, deltas, base_name: str):
+    """Advance dataset ``base_name`` through the pinned prefix of a delta log.
+
+    The applied state is cached as a versioned snapshot under
+    ``("dataset_snapshot", base_name, "<seq>-<chain>")``, where ``chain``
+    fingerprints the applied log prefix — every historical state a spec can
+    pin with ``deltas.as_of`` reproduces from cache, and a rewritten log can
+    never serve a stale snapshot (its chain, and therefore the key, differs).
+
+    Building a snapshot is incremental: when the live dataset already sits at
+    a verified earlier position of the same chain (the log merely grew), only
+    the new suffix is applied; otherwise the build restarts from the pristine
+    base, which the first application parks under its own snapshot key.
+    Installing a new snapshot as the live dataset goes through
+    :func:`register_dataset`, dropping every derived artifact — audits,
+    scorers, evaluations — via the store's generation mechanism.
+    """
+    from ..kg.deltas import DeltaLog, LiveDatasetMaintainer
+
+    log = DeltaLog(deltas.log)
+    batches = log.batches(deltas.as_of)
+    last_seq = batches[-1].seq if batches else -1
+    chain = log.chain_fingerprint(deltas.as_of)
+    snapshot_key = ("dataset_snapshot", base_name, f"{last_seq}-{chain}")
+    base_key = ("dataset_snapshot", base_name, "base")
+
+    def _notes(dataset) -> Dict[str, str]:
+        metadata = getattr(dataset, "metadata", None)
+        return dict(metadata.notes) if metadata is not None else {}
+
+    def build():
+        start = store.ensure(base_key, lambda: ensure_dataset(store, config, base_name))
+        current = store.get(("dataset", base_name))
+        if current is not None:
+            notes = _notes(current)
+            try:
+                applied = int(notes.get("delta_seq", -1))
+            except (TypeError, ValueError):
+                applied = -1
+            if 0 <= applied <= last_seq and notes.get(
+                "delta_chain"
+            ) == log.chain_fingerprint(applied):
+                start = current
+        maintainer = LiveDatasetMaintainer.from_dataset(start, name=base_name)
+        maintainer.apply_log(batches)
+        snapshot = maintainer.canonical_dataset()
+        snapshot.metadata.notes["delta_chain"] = chain
+        get_telemetry().counter("delta.snapshots").add(1)
+        return snapshot
+
+    snapshot = store.ensure(snapshot_key, build)
+    summary = log.summary()
+    summary["as_of"] = deltas.as_of
+    summary["pinned_seq"] = last_seq
+    summary["snapshot"] = artifact_key_string(snapshot_key)
+    store.put(("delta_log", base_name), summary)
+    live = store.get(("dataset", base_name))
+    if live is None or _notes(live).get("delta_state") != _notes(snapshot).get("delta_state"):
+        register_dataset(store, snapshot)
+    return snapshot
+
+
 def ensure_redundancy(store: ArtifactStore, config, dataset_name: str):
     """The Section 4 redundancy report of one dataset."""
     from ..core.redundancy import analyse_redundancy
@@ -263,6 +325,7 @@ class Runner:
         spec: ExperimentSpec,
         store: Optional[ArtifactStore] = None,
         cache_dir: Optional[Any] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         errors = spec.validate()
         if errors:
@@ -274,7 +337,9 @@ class Runner:
                 # Opt into the shared on-disk cache: artifacts land under
                 # <cache_dir>/<fingerprint>/ and a later run (or a parallel
                 # one) reuses them instead of recomputing.
-                store = DiskArtifactStore(fingerprint, cache_dir=cache_dir)
+                store = DiskArtifactStore(
+                    fingerprint, cache_dir=cache_dir, max_bytes=cache_max_bytes
+                )
             else:
                 store = ArtifactStore(fingerprint)
         elif store.fingerprint and store.fingerprint != fingerprint:
@@ -309,6 +374,31 @@ class Runner:
         source_name = self.spec.dataset.source_name
         return f"{source_name}-deredundant" if source_name else None
 
+    def delta_target(self) -> Optional[str]:
+        """The dataset a ``[deltas]`` log applies to (None without a log).
+
+        Deltas maintain the spec's *primary* dataset: the stream-ingested
+        source when one is declared, otherwise the first listed dataset.
+        """
+        if not self.spec.deltas.log:
+            return None
+        if self.spec.dataset.source_name:
+            return self.spec.dataset.source_name
+        return self.spec.datasets[0] if self.spec.datasets else None
+
+    def _ensure_deltas(self) -> None:
+        """Apply the spec's pinned delta-log prefix before any stage runs.
+
+        Deltas redefine the dataset everything downstream derives from, so
+        they cannot be pulled lazily like other prerequisites — a stale live
+        dataset would key freshly built scorers to the wrong state.
+        """
+        target = self.delta_target()
+        if target is None:
+            return
+        self._ensure_source()
+        apply_spec_deltas(self.store, self.config, self.spec.deltas, target)
+
     # -- execution ---------------------------------------------------------------
     def run(self, stages: Optional[Sequence[str]] = None) -> RunReport:
         """Run ``stages`` (default: the spec's) in canonical order."""
@@ -335,6 +425,7 @@ class Runner:
             )
         telemetry = get_telemetry()
         profiles: Dict[str, Dict[str, Any]] = {}
+        self._ensure_deltas()
         for stage_name in selected:
             before = set(self.store.keys())
             started = time.perf_counter()

@@ -183,6 +183,26 @@ INGEST = Section(
     ),
 )
 
+DELTAS = Section(
+    "deltas",
+    "Incremental dataset maintenance: a delta log applied on top of the source.",
+    (
+        Knob(
+            "log", str, None,
+            "JSON-lines delta log (see docs/deltas.md) applied to the resolved "
+            "dataset before any other stage; each applied prefix is cached as a "
+            "versioned snapshot",
+            optional=True, flag="--delta-log",
+        ),
+        Knob(
+            "as_of", int, None,
+            "pin the dataset to the state after this delta batch sequence number "
+            "(default: the whole log); historical snapshots reproduce bit-identically",
+            optional=True, minimum=0, flag="--delta-as-of",
+        ),
+    ),
+)
+
 AUDIT = Section(
     "audit",
     "The paper's Section 4 redundancy / leakage audit.",
@@ -375,7 +395,9 @@ TELEMETRY = Section(
 #: section (observability settings belong in a run declaration) but is
 #: excluded from fingerprints by ``ExperimentSpec.fingerprint`` — watching a
 #: run never changes its artifact identity.
-SECTIONS: Tuple[Section, ...] = (DATASET, INGEST, AUDIT, MODEL, TRAINING, EVALUATION, TELEMETRY)
+SECTIONS: Tuple[Section, ...] = (
+    DATASET, INGEST, DELTAS, AUDIT, MODEL, TRAINING, EVALUATION, TELEMETRY,
+)
 
 SECTIONS_BY_NAME: Dict[str, Section] = {section.name: section for section in SECTIONS}
 SECTIONS_BY_NAME[SERVING.name] = SERVING
@@ -396,6 +418,7 @@ def defaults(section_name: str) -> Dict[str, Any]:
 #: Convenience handles for the modules deriving their dataclass defaults.
 DATASET_DEFAULTS = DATASET.defaults()
 INGEST_DEFAULTS = INGEST.defaults()
+DELTAS_DEFAULTS = DELTAS.defaults()
 AUDIT_DEFAULTS = AUDIT.defaults()
 MODEL_DEFAULTS = MODEL.defaults()
 TRAINING_DEFAULTS = TRAINING.defaults()

@@ -50,6 +50,7 @@ __all__ = [
     "ExperimentSpec",
     "DatasetSpec",
     "IngestSpec",
+    "DeltasSpec",
     "AuditSpec",
     "ModelSectionSpec",
     "TrainingSpec",
@@ -114,6 +115,12 @@ class IngestSpec:
 
 
 @dataclass
+class DeltasSpec:
+    log: Optional[str] = None
+    as_of: Optional[int] = None
+
+
+@dataclass
 class AuditSpec:
     theta: float = schema.AUDIT_DEFAULTS["theta"]
     yago_theta: float = schema.AUDIT_DEFAULTS["yago_theta"]
@@ -165,6 +172,7 @@ class TelemetrySpec:
 _SECTION_CLASSES = {
     "dataset": DatasetSpec,
     "ingest": IngestSpec,
+    "deltas": DeltasSpec,
     "audit": AuditSpec,
     "model": ModelSectionSpec,
     "training": TrainingSpec,
@@ -193,6 +201,7 @@ class ExperimentSpec:
     stages: List[str] = field(default_factory=lambda: list(schema.DEFAULT_STAGES))
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
     ingest: IngestSpec = field(default_factory=IngestSpec)
+    deltas: DeltasSpec = field(default_factory=DeltasSpec)
     audit: AuditSpec = field(default_factory=AuditSpec)
     model: ModelSectionSpec = field(default_factory=ModelSectionSpec)
     training: TrainingSpec = field(default_factory=TrainingSpec)
@@ -786,6 +795,14 @@ def _spec_from_dict(data: Dict[str, Any]) -> Tuple["ExperimentSpec", List[SpecEr
                 "stages",
                 "'deredundify' only applies to a stream-ingested dataset.source "
                 "(the built-in replicas ship explicit de-redundant variants)",
+            )
+        )
+    if spec.deltas.as_of is not None and not spec.deltas.log:
+        errors.append(
+            SpecError(
+                "deltas.log",
+                "required when deltas.as_of is set (there is no log to pin a "
+                "snapshot sequence into)",
             )
         )
     if spec.training.restore_best and spec.training.validate_every <= 0:

@@ -168,6 +168,7 @@ def run_sweep(
     cache_dir: Optional[Any] = None,
     stages: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[int, int, SweepCell], None]] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> SweepResult:
     """Execute every cell of the grid through one shared disk cache.
 
@@ -186,7 +187,7 @@ def run_sweep(
     for index, cell in enumerate(cells):
         if progress is not None:
             progress(index, len(cells), cell)
-        runner = Runner(cell.spec, cache_dir=cache_dir)
+        runner = Runner(cell.spec, cache_dir=cache_dir, cache_max_bytes=cache_max_bytes)
         report = runner.run(stages)
         result.reports.append(report)
         for dataset_name, rows in report.rows.items():

@@ -288,8 +288,8 @@ def command_run(args: argparse.Namespace) -> int:
 
     _configure_logging(args.verbose, args.quiet)
     spec = _load_spec_or_exit(args.spec)
-    # The generated [telemetry] flags overlay the loaded spec.  Switches and
-    # the trace path can only turn observability *on* from the CLI — an absent
+    # The generated [telemetry] and [deltas] flags overlay the loaded spec.
+    # Switches and optional values can only *set* from the CLI — an absent
     # flag (False / None) leaves the spec's own declaration alone.
     for (section_name, knob_name), value in _parsed_knob_values(args, "run").items():
         if value is None or value is False:
@@ -298,7 +298,7 @@ def command_run(args: argparse.Namespace) -> int:
     if spec.telemetry.trace_path or spec.telemetry.profile:
         spec.telemetry.enabled = True
     cache_dir = Path(args.cache_dir) if args.cache_dir else None
-    runner = Runner(spec, cache_dir=cache_dir)
+    runner = Runner(spec, cache_dir=cache_dir, cache_max_bytes=args.cache_max_bytes)
     stages = None
     if args.stages:
         stages = [token.strip() for token in args.stages.split(",") if token.strip()]
@@ -377,7 +377,14 @@ def command_sweep(args: argparse.Namespace) -> int:
     def progress(index: int, total: int, cell) -> None:
         logger.info("[sweep %d/%d] %s", index + 1, total, cell.label)
 
-    result = run_sweep(base, axes, cache_dir=cache_dir, stages=stages, progress=progress)
+    result = run_sweep(
+        base,
+        axes,
+        cache_dir=cache_dir,
+        stages=stages,
+        progress=progress,
+        cache_max_bytes=args.cache_max_bytes,
+    )
     grid = " x ".join(
         f"{section}.{knob}({len(values)})" for section, knob, values in axes
     ) or "base spec only"
@@ -445,6 +452,132 @@ def command_spec_diff(args: argparse.Namespace) -> int:
     for path, left_value, right_value in differences:
         print(f"  {path}: {left_value!r} -> {right_value!r}")
     return 1
+
+
+# ---------------------------------------------------------------------------- deltas
+def _delta_maintainer(args: argparse.Namespace):
+    """The base dataset advanced through ``--log`` (up to ``--as-of``)."""
+    from .kg.deltas import DeltaError, LiveDatasetMaintainer
+
+    dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
+    maintainer = LiveDatasetMaintainer.from_dataset(dataset)
+    try:
+        reports = maintainer.apply_log(args.log, as_of=args.as_of)
+    except (DeltaError, OSError) as error:
+        raise SystemExit(f"{args.log}: {error}")
+    return maintainer, reports
+
+
+def command_delta_apply(args: argparse.Namespace) -> int:
+    """Apply a delta log to a dataset; report (and optionally export) the state."""
+    _configure_logging(args.verbose, args.quiet)
+    maintainer, reports = _delta_maintainer(args)
+    if reports:
+        print(render_table(
+            [
+                {
+                    "seq": report.seq,
+                    "added": sum(report.added.values()),
+                    "removed": sum(report.removed.values()),
+                    "noops": report.noop_adds + report.noop_removes,
+                }
+                for report in reports
+            ],
+            title=f"Applied batches from {args.log}",
+        ))
+    else:
+        print(f"{args.log}: no batches to apply")
+    sizes = maintainer.split_sizes()
+    print(render_key_values(
+        {
+            "dataset": maintainer.name,
+            "last applied seq": maintainer.last_seq,
+            "train/valid/test": f"{sizes['train']}/{sizes['valid']}/{sizes['test']}",
+            "state fingerprint": maintainer.state_fingerprint(),
+        },
+        title="Resulting state",
+    ))
+    if args.output:
+        directory = maintainer.export(args.output)
+        print(f"state exported to {directory}")
+    return 0
+
+
+def command_delta_log(args: argparse.Namespace) -> int:
+    """Verify a delta log's integrity and print its summary."""
+    from .kg.deltas import DeltaError, DeltaLog
+
+    try:
+        summary = DeltaLog(args.log).summary()
+    except (DeltaError, OSError) as error:
+        raise SystemExit(f"{args.log}: {error}")
+    per_split = summary["per_split"]
+    print(render_key_values(
+        {
+            "batches": summary["batches"],
+            "last seq": summary["last_seq"],
+            "adds": summary["adds"],
+            "removes": summary["removes"],
+            "per split": ", ".join(
+                f"{split} +{counts['adds']}/-{counts['removes']}"
+                for split, counts in per_split.items()
+            ),
+            "chain fingerprint": summary["chain_fingerprint"],
+        },
+        title=f"Delta log {summary['path']}",
+    ))
+    return 0
+
+
+def command_delta_audit(args: argparse.Namespace) -> int:
+    """Audit the delta-maintained state; optionally verify against re-ingest."""
+    import json as json_module
+    import tempfile
+
+    _configure_logging(args.verbose, args.quiet)
+    maintainer, _ = _delta_maintainer(args)
+    report = maintainer.audit_report(args.theta, args.theta)
+    redundancy = report["redundancy"]
+    leakage = report["leakage"]
+    sizes = maintainer.split_sizes()
+    print(render_key_values(
+        {
+            "dataset": maintainer.name,
+            "last applied seq": report["last_seq"],
+            "state fingerprint": report["state"],
+            "train/valid/test": f"{sizes['train']}/{sizes['valid']}/{sizes['test']}",
+            "reverse pairs": len(redundancy["reverse_pairs"]),
+            "duplicate pairs": len(redundancy["duplicate_pairs"]),
+            "reverse-duplicate pairs": len(redundancy["reverse_duplicate_pairs"]),
+            "symmetric relations": len(redundancy["symmetric_relations"]),
+            "training reverse triples": leakage["training_reverse_triples"],
+        },
+        title=f"Delta audit of {maintainer.name}",
+    ))
+    if args.json:
+        Path(args.json).write_text(json_module.dumps(report, indent=2, sort_keys=True))
+        print(f"full audit report written to {args.json}")
+    if args.check:
+        # The acceptance bar of the subsystem, on demand: the incrementally
+        # maintained audit must match a full re-ingest of the final state
+        # bit for bit (modulo the sequence counter, which re-ingest resets).
+        with tempfile.TemporaryDirectory(prefix="repro-delta-check-") as scratch:
+            maintainer.export(scratch)
+            reingested = ingest_dataset(scratch, name=maintainer.name).dataset
+        from .kg.deltas import LiveDatasetMaintainer
+
+        reference = LiveDatasetMaintainer.from_dataset(reingested).audit_report(
+            args.theta, args.theta
+        )
+        left = {key: value for key, value in report.items() if key != "last_seq"}
+        right = {key: value for key, value in reference.items() if key != "last_seq"}
+        if left == right:
+            print("check: maintained state is bit-identical to a full re-ingest")
+        else:
+            mismatched = sorted(key for key in left if left[key] != right.get(key))
+            print(f"check FAILED: mismatch in {', '.join(mismatched)}")
+            return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------- legacy subcommands
@@ -662,9 +795,16 @@ def command_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot load artifact {args.artifact}: {error}")
     scorer = artifact.instantiate()
     known = {}
+    # Cached score rows are keyed to the artifact fingerprint (and, for a
+    # delta-maintained dataset, its snapshot state): swapping either can
+    # never serve scores computed against the old one.
+    version = artifact.fingerprint
     if args.dataset:
         dataset = _resolve_dataset(args.dataset, args.scale, args.seed)
         known = known_completion_index(dataset.known_triples())
+        notes = getattr(dataset.metadata, "notes", None) or {}
+        if notes.get("delta_state"):
+            version = f"{version}:{notes['delta_state']}"
         print(
             f"filtered queries exclude {sum(len(v) for v in known.values())} "
             f"known completions from {dataset.name}"
@@ -675,6 +815,7 @@ def command_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         cache_entries=args.cache_entries,
+        version=version,
     )
 
     def announce(address) -> None:
@@ -798,6 +939,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist artifacts in this content-addressed cache directory; "
         "a repeated run reuses them bit-identically (default: no persistence)",
     )
+    run.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the whole cache directory: least-recently-used spec "
+        "partitions are evicted after each write (never the one in use)",
+    )
+    _add_schema_flags(run, "run", schema.DELTAS)
     _add_schema_flags(run, "run", schema.TELEMETRY)
     add_verbosity(run)
     run.set_defaults(handler=command_run)
@@ -821,6 +971,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared artifact cache directory (default: ~/.cache/repro-kgc or $REPRO_CACHE_DIR)",
     )
     sweep.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the shared cache directory with LRU partition eviction",
+    )
+    sweep.add_argument(
         "--no-cache",
         action="store_true",
         help="run every cell on a private in-memory store (no persistence)",
@@ -841,6 +998,58 @@ def build_parser() -> argparse.ArgumentParser:
     spec_diff.add_argument("left", help="spec file")
     spec_diff.add_argument("right", nargs="?", default=None, help="spec file (default: the schema defaults)")
     spec_diff.set_defaults(handler=command_spec_diff)
+
+    delta = subparsers.add_parser(
+        "delta", help="apply, inspect and audit incremental dataset delta logs"
+    )
+    delta_sub = delta.add_subparsers(dest="delta_command", required=True)
+
+    def add_delta_common(sub: argparse.ArgumentParser, command: str) -> None:
+        add_common(sub, command)
+        sub.add_argument("--dataset", default="fb15k", help="dataset name or TSV directory")
+        sub.add_argument(
+            "--log", required=True, help="JSON-lines delta log (see docs/deltas.md)"
+        )
+        sub.add_argument(
+            "--as-of",
+            type=int,
+            default=None,
+            metavar="SEQ",
+            help="stop after this batch sequence number (default: the whole log)",
+        )
+        add_verbosity(sub)
+
+    delta_apply = delta_sub.add_parser(
+        "apply", help="apply a delta log to a dataset and export the resulting state"
+    )
+    add_delta_common(delta_apply, "delta-apply")
+    delta_apply.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="export the resulting state as a TSV dataset directory",
+    )
+    delta_apply.set_defaults(handler=command_delta_apply)
+
+    delta_log = delta_sub.add_parser("log", help="verify and summarize a delta log")
+    delta_log.add_argument("log", help="JSON-lines delta log")
+    delta_log.set_defaults(handler=command_delta_log)
+
+    delta_audit = delta_sub.add_parser(
+        "audit",
+        help="audit the delta-maintained state (optionally verify it against a full re-ingest)",
+    )
+    add_delta_common(delta_audit, "delta-audit")
+    _add_schema_flags(delta_audit, "delta-audit", schema.AUDIT, ("theta",))
+    delta_audit.add_argument(
+        "--check",
+        action="store_true",
+        help="re-ingest the resulting state from scratch and require the "
+        "maintained audit to match bit for bit",
+    )
+    delta_audit.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the full label-space audit report as JSON",
+    )
+    delta_audit.set_defaults(handler=command_delta_audit)
 
     generate = subparsers.add_parser("generate", help="build and export the six benchmark replicas")
     add_common(generate, "generate")

@@ -356,6 +356,11 @@ class StreamingPairIndexBuilder:
     set.  The audit runs on the union of all splits, and the per-relation
     pair dedupe makes cross-split duplicates harmless, so :meth:`report` is
     bit-identical to ``analyse_redundancy(dataset.all_triples(), ...)``.
+
+    The index also supports **removal** (:meth:`retract`) so the delta
+    maintainer (:mod:`repro.kg.deltas`) can keep the §4.2 audit current
+    under triple deletions in cost proportional to the delta, not the
+    dataset.
     """
 
     def __init__(self) -> None:
@@ -372,6 +377,31 @@ class StreamingPairIndexBuilder:
                 continue
             pairs.add(pair)
             self._pair_index.setdefault(pair, []).append(relation)
+
+    def retract(self, removed_triples: Iterable[Triple]) -> None:
+        """Remove triples that no longer exist in **any** split.
+
+        The audit pools every split, so the caller (the delta maintainer,
+        which tracks split membership) must only retract a triple once its
+        last split occurrence is gone — retracting while a copy survives in
+        another split would corrupt the pooled pair sets.  Emptied pair
+        sets and inverted-index postings are deleted so the structures stay
+        equal to a from-scratch build over the surviving triples (postings
+        keep relations in first-insertion order; every derived report is
+        invariant to that order).
+        """
+        for head, relation, tail in removed_triples:
+            pair = (head, tail)
+            pairs = self._pair_sets.get(relation)
+            if pairs is None or pair not in pairs:
+                continue
+            pairs.remove(pair)
+            if not pairs:
+                del self._pair_sets[relation]
+            posting = self._pair_index[pair]
+            posting.remove(relation)
+            if not posting:
+                del self._pair_index[pair]
 
     @property
     def pair_sets(self) -> PairSets:

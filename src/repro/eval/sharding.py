@@ -88,6 +88,26 @@ class StreamingKnownIndexBuilder:
             self._tails.setdefault((head, relation), set()).add(tail)
             self._heads.setdefault((relation, tail), set()).add(head)
 
+    def retract(self, removed_triples: Sequence[Tuple[int, int, int]]) -> None:
+        """Remove triples that no longer exist in **any** split.
+
+        The filter pools every split, so the caller (the delta maintainer)
+        must only retract a triple once its last split occurrence is gone.
+        Emptied candidate sets are deleted, keeping the index equal to a
+        from-scratch build over the surviving triples.
+        """
+        for head, relation, tail in removed_triples:
+            tails = self._tails.get((head, relation))
+            if tails is None or tail not in tails:
+                continue
+            tails.remove(tail)
+            if not tails:
+                del self._tails[(head, relation)]
+            heads = self._heads[(relation, tail)]
+            heads.remove(head)
+            if not heads:
+                del self._heads[(relation, tail)]
+
     def tail_filters(self) -> Dict[Query, np.ndarray]:
         """Sorted candidate arrays per ``(h, r)`` query (tail prediction)."""
         return {

@@ -386,3 +386,148 @@ def get_scale(scale: str | ScaleProfile) -> ScaleProfile:
         raise ValueError(
             f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
         ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Churn streams: adversarial delta fixtures
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Knobs of a synthetic add/remove churn stream over an existing dataset.
+
+    Rates are fractions of the *current* triple count per batch, so the
+    stream scales with the dataset it churns.  The injection knobs produce
+    the adversarial structure every audit has to stay current against:
+
+    ``redundancy_rate``
+        Fraction of adds emitted as **reversed shadows** of existing
+        triples under a dedicated ``*_churn_rev`` relation — over batches
+        this grows reverse-duplicate partners the §4.2 detector must pick
+        up incrementally.
+    ``cartesian_rate``
+        Per-batch probability of injecting one near-Cartesian block (a
+        small subject-pool × object-pool product under a fresh
+        ``cart_churn_*`` relation) into the training split.
+    ``leakage_rate``
+        Fraction of adds placed into the **test** split as reverses of
+        training triples — direct Figure-4 leakage.
+    ``readd_rate``
+        Fraction of adds drawn from previously removed triples, exercising
+        the re-add path (canonical order moves them to the end).
+    ``fresh_entity_rate``
+        Fraction of plain adds minting a brand-new entity label, so the
+        vocabulary keeps growing (and keeps garbage after removals).
+    """
+
+    batches: int = 8
+    add_rate: float = 0.01
+    remove_rate: float = 0.01
+    redundancy_rate: float = 0.0
+    cartesian_rate: float = 0.0
+    leakage_rate: float = 0.0
+    readd_rate: float = 0.0
+    fresh_entity_rate: float = 0.1
+    cartesian_block: Tuple[int, int] = (4, 5)
+    split_weights: Tuple[float, float, float] = DEFAULT_SPLIT_FRACTIONS
+
+
+def churn_stream(dataset: Dataset, profile: ChurnProfile, seed: int = 0):
+    """Yield :class:`~repro.kg.deltas.DeltaBatch` churn against ``dataset``.
+
+    The generator tracks the labelled state the batches produce (applying
+    its own removes and adds), so removals always target present triples,
+    re-adds come from the graveyard of actually removed rows, and the
+    stream composes deterministically from ``seed`` alone.
+    """
+    from .deltas import DeltaBatch
+
+    rng = np.random.default_rng(seed)
+    splits = ("train", "valid", "test")
+    state: Dict[str, Dict[LabelledTriple, None]] = {split: {} for split in splits}
+    for split_name, split in dataset.splits().items():
+        decode = dataset.vocab.decode_triple
+        for triple in split:
+            state[split_name][decode(triple)] = None
+    entity_pool: List[str] = dataset.vocab.entities.labels()
+    relation_pool: List[str] = dataset.vocab.relations.labels()
+    graveyard: List[Tuple[str, LabelledTriple]] = []
+    weights = np.asarray(profile.split_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    fresh_serial = 0
+
+    def sample_present(count: int) -> List[Tuple[str, LabelledTriple]]:
+        population = [
+            (split, row) for split in splits for row in state[split]
+        ]
+        if not population or count <= 0:
+            return []
+        count = min(count, len(population))
+        chosen = rng.choice(len(population), size=count, replace=False)
+        return [population[int(index)] for index in chosen]
+
+    def random_entity() -> str:
+        nonlocal fresh_serial
+        if entity_pool and rng.random() >= profile.fresh_entity_rate:
+            return entity_pool[int(rng.integers(len(entity_pool)))]
+        fresh_serial += 1
+        label = f"churn_e{fresh_serial}"
+        entity_pool.append(label)
+        return label
+
+    for batch_index in range(profile.batches):
+        total = sum(len(rows) for rows in state.values())
+        adds: Dict[str, List[LabelledTriple]] = {split: [] for split in splits}
+        removes: Dict[str, List[LabelledTriple]] = {split: [] for split in splits}
+
+        # -- removals ----------------------------------------------------
+        n_remove = int(round(profile.remove_rate * total))
+        for split, row in sample_present(n_remove):
+            removes[split].append(row)
+            del state[split][row]
+            graveyard.append((split, row))
+
+        # -- additions ---------------------------------------------------
+        n_add = int(round(profile.add_rate * total))
+        n_leak = int(round(profile.leakage_rate * n_add))
+        n_shadow = int(round(profile.redundancy_rate * n_add))
+        n_readd = int(round(profile.readd_rate * n_add))
+
+        def place(split: str, row: LabelledTriple) -> None:
+            if row not in state[split]:
+                adds[split].append(row)
+                state[split][row] = None
+
+        for _ in range(n_readd):
+            if not graveyard:
+                break
+            split, row = graveyard.pop(int(rng.integers(len(graveyard))))
+            place(split, row)
+        train_rows = list(state["train"])
+        for _ in range(n_leak):
+            if not train_rows:
+                break
+            head, relation, tail = train_rows[int(rng.integers(len(train_rows)))]
+            place("test", (tail, f"{relation}_churn_inv", head))
+        shadow_sources = sample_present(n_shadow)
+        for split, (head, relation, tail) in shadow_sources:
+            place(split, (tail, f"{relation}_churn_rev", head))
+        n_plain = max(0, n_add - n_leak - n_shadow - n_readd)
+        for _ in range(n_plain):
+            split = splits[int(rng.choice(3, p=weights))]
+            relation = relation_pool[int(rng.integers(len(relation_pool)))]
+            place(split, (random_entity(), relation, random_entity()))
+
+        if profile.cartesian_rate and rng.random() < profile.cartesian_rate:
+            n_subjects, n_objects = profile.cartesian_block
+            subjects = [random_entity() for _ in range(n_subjects)]
+            objects = [random_entity() for _ in range(n_objects)]
+            relation = f"cart_churn_{batch_index}"
+            for head in subjects:
+                for tail in objects:
+                    place("train", (head, relation, tail))
+
+        yield DeltaBatch(
+            adds={split: rows for split, rows in adds.items() if rows},
+            removes={split: rows for split, rows in removes.items() if rows},
+        )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List
 
 from .dataset import Dataset
 from .triples import Triple, TripleSet
@@ -59,23 +59,57 @@ class StreamingStatisticsBuilder:
     :func:`dataset_statistics` of the crystallized dataset exactly: split
     sizes are deduplicated sizes, and entities/relations are counted as
     *present in any split*, never as vocabulary size.
+
+    Entity and relation presence is reference-counted per split occurrence
+    (a triple in two splits contributes two references, a reflexive triple
+    contributes two entity references), so the delta-maintenance path
+    (:mod:`repro.kg.deltas`) can :meth:`retract` triples and the counts
+    stay exact: an id leaves the inventory precisely when its last
+    surviving occurrence is removed.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._split_counts: Dict[str, int] = {"train": 0, "valid": 0, "test": 0}
-        self._entities: Set[int] = set()
-        self._relations: Set[int] = set()
+        self._entities: Dict[int, int] = {}
+        self._relations: Dict[int, int] = {}
 
     def observe(self, split: str, added_triples: Iterable[Triple]) -> None:
         """Fold one chunk's newly-added encoded triples into the counters."""
+        entities = self._entities
+        relations = self._relations
         count = 0
         for head, relation, tail in added_triples:
-            self._entities.add(head)
-            self._entities.add(tail)
-            self._relations.add(relation)
+            entities[head] = entities.get(head, 0) + 1
+            entities[tail] = entities.get(tail, 0) + 1
+            relations[relation] = relations.get(relation, 0) + 1
             count += 1
         self._split_counts[split] += count
+
+    def retract(self, split: str, removed_triples: Iterable[Triple]) -> None:
+        """Unfold triples that were *actually removed* from ``split``.
+
+        The caller must pass only triples previously observed for this
+        split (the delta maintainer guarantees that by checking split
+        membership before retracting).
+        """
+        entities = self._entities
+        relations = self._relations
+        count = 0
+        for head, relation, tail in removed_triples:
+            for entity in (head, tail):
+                remaining = entities[entity] - 1
+                if remaining:
+                    entities[entity] = remaining
+                else:
+                    del entities[entity]
+            remaining = relations[relation] - 1
+            if remaining:
+                relations[relation] = remaining
+            else:
+                del relations[relation]
+            count += 1
+        self._split_counts[split] -= count
 
     def statistics(self) -> DatasetStatistics:
         """Finalize the Table-1 row seen so far."""

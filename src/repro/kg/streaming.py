@@ -278,8 +278,14 @@ class StreamingDatasetBuilder:
                 added.append(encoded)
         return added
 
-    def build(self) -> Dataset:
-        """Crystallize the stream into a validated :class:`Dataset`."""
+    def build(self, validate: bool = True) -> Dataset:
+        """Crystallize the stream into a (by default validated) :class:`Dataset`.
+
+        ``validate=False`` is for the delta maintainer
+        (:mod:`repro.kg.deltas`), whose canonically re-interned states may
+        transiently have an empty training split — every other caller wants
+        the id-range and non-empty-train checks.
+        """
         dataset = Dataset(
             name=self.name,
             vocab=self.vocab,
@@ -288,7 +294,8 @@ class StreamingDatasetBuilder:
             test=self._splits["test"],
             metadata=self.metadata,
         )
-        dataset.validate()
+        if validate:
+            dataset.validate()
         return dataset
 
 

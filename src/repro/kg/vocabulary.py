@@ -49,6 +49,14 @@ class _LabelIndex:
     def __contains__(self, label: object) -> bool:
         return label in self._label_to_id
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality over the id order: two indexes agree exactly when
+        # they assign every id to the same label.  Used by the delta
+        # subsystem's bit-identity checks (maintained state vs re-ingest).
+        if not isinstance(other, _LabelIndex):
+            return NotImplemented
+        return self._id_to_label == other._id_to_label
+
     def __len__(self) -> int:
         return len(self._id_to_label)
 

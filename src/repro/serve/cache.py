@@ -74,15 +74,45 @@ class ScoreCache:
     """
 
     def __init__(
-        self, maxsize: int = DEFAULT_CACHE_ENTRIES, name: Optional[str] = None
+        self,
+        maxsize: int = DEFAULT_CACHE_ENTRIES,
+        name: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> None:
         self.maxsize = max(0, int(maxsize))
         self.name = name
+        #: Optional content-version token (e.g. the artifact or dataset
+        #: snapshot fingerprint scores were computed against).  It is mixed
+        #: into every storage key, so entries cached for one version can
+        #: never answer lookups made under another — even through a pickled
+        #: or shared handle that missed an :meth:`invalidate` call.
+        self.version = version
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
+
+    def _key(self, key: Hashable) -> Hashable:
+        return (self.version, key) if self.version is not None else key
+
+    def invalidate(self, version: Optional[str] = None) -> int:
+        """Drop every entry, optionally re-keying the cache to ``version``.
+
+        Call when the scores' source of truth changed — a new model artifact
+        was installed, or the served dataset advanced to a new delta
+        snapshot.  Returns the number of entries dropped; lifetime counters
+        are kept (they describe traffic, not validity).
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if version is not None:
+                self.version = version
+            self._invalidations += 1
+        self._emit("invalidations")
+        return dropped
 
     def _emit(self, outcome: str, amount: int = 1) -> None:
         """Mirror one counter tick into the current telemetry registry."""
@@ -95,6 +125,7 @@ class ScoreCache:
     # -- core operations ----------------------------------------------------
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed to most-recently-used; None on a miss."""
+        key = self._key(key)
         with self._lock:
             try:
                 value = self._entries[key]
@@ -112,6 +143,7 @@ class ScoreCache:
         """Insert (or refresh) an entry, evicting least-recently-used overflow."""
         if self.maxsize == 0:
             return
+        key = self._key(key)
         evicted = 0
         with self._lock:
             if key in self._entries:
@@ -141,20 +173,24 @@ class ScoreCache:
             return {
                 "maxsize": self.maxsize,
                 "name": self.name,
+                "version": self.version,
                 "entries": list(self._entries.items()),
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "invalidations": self._invalidations,
             }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.maxsize = state["maxsize"]
         self.name = state.get("name")
+        self.version = state.get("version")
         self._entries = OrderedDict(state["entries"])
         self._lock = threading.Lock()
         self._hits = state["hits"]
         self._misses = state["misses"]
         self._evictions = state["evictions"]
+        self._invalidations = state.get("invalidations", 0)
 
     # -- bookkeeping --------------------------------------------------------
     def clear(self) -> None:
@@ -168,7 +204,7 @@ class ScoreCache:
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
-            return key in self._entries
+            return self._key(key) in self._entries
 
     @property
     def stats(self) -> CacheStats:

@@ -140,6 +140,7 @@ class QueryEngine:
         max_batch: int = 64,
         max_delay: float = 0.002,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        version: Optional[str] = None,
     ) -> None:
         if num_entities is None:
             num_entities = getattr(scorer, "num_entities", None)
@@ -152,7 +153,7 @@ class QueryEngine:
         self.known: KnownIndex = known or {}
         self.max_batch = max(1, int(max_batch))
         self.max_delay = max(0.0, float(max_delay))
-        self.cache = ScoreCache(cache_entries, name="serve")
+        self.cache = ScoreCache(cache_entries, name="serve", version=version)
         #: Parked requests: (query, future, enqueue perf_counter timestamp).
         self._pending: List[
             Tuple[Query, "asyncio.Future[Tuple[np.ndarray, int]]", float]
@@ -166,10 +167,23 @@ class QueryEngine:
     # -- dataset plumbing ----------------------------------------------------
     @classmethod
     def for_dataset(cls, scorer: Any, dataset: Any, **kwargs: Any) -> "QueryEngine":
-        """An engine whose filtered queries exclude the dataset's known triples."""
+        """An engine whose filtered queries exclude the dataset's known triples.
+
+        The score cache is keyed to the dataset's delta-snapshot fingerprint
+        when the dataset carries one, so scores cached against one snapshot
+        never answer queries after the dataset advances.
+        """
         kwargs.setdefault("num_entities", dataset.num_entities)
         kwargs.setdefault("known", known_completion_index(dataset.known_triples()))
+        metadata = getattr(dataset, "metadata", None)
+        notes = getattr(metadata, "notes", None) or {}
+        if notes.get("delta_state"):
+            kwargs.setdefault("version", notes["delta_state"])
         return cls(scorer, **kwargs)
+
+    def invalidate(self, version: Optional[str] = None) -> int:
+        """Drop cached score rows (the served artifact or snapshot changed)."""
+        return self.cache.invalidate(version)
 
     # -- request path --------------------------------------------------------
     async def submit(self, query: Query) -> TopKResult:

@@ -26,6 +26,8 @@ MINIMAL_ARGV = {
     "experiment": ["experiment", "table1"],
     "serve": ["serve", "--artifact", "unused"],
     "query": ["query", "--anchor", "0", "--relation", "0"],
+    "delta-apply": ["delta", "apply", "--log", "unused"],
+    "delta-audit": ["delta", "audit", "--log", "unused"],
 }
 
 

@@ -168,9 +168,11 @@ def specs(draw):
         values = draw(_section_strategy(section, skip=skip))
         for key, value in values.items():
             setattr(getattr(spec, section.name), key, value)
-    # Respect the cross-field rule instead of generating invalid specs.
+    # Respect the cross-field rules instead of generating invalid specs.
     if spec.training.restore_best and spec.training.validate_every <= 0:
         spec.training.validate_every = 1
+    if spec.deltas.as_of is not None and spec.deltas.log is None:
+        spec.deltas.as_of = None
     if draw(st.booleans()) and spec.models:
         target = draw(st.sampled_from(spec.models))
         if target not in schema.BASELINE_SCORERS:

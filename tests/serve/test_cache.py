@@ -112,3 +112,41 @@ def test_concurrent_access_is_safe():
     stats = cache.stats
     assert stats.lookups == 4 * 200
     assert len(cache) <= 16
+
+
+# ------------------------------------------------------------------ versioning
+def test_version_partitions_the_key_space():
+    cache = ScoreCache(maxsize=4, version="v1")
+    cache.put(("tail", 1, 2), 1)
+    assert cache.get(("tail", 1, 2)) == 1
+    assert ("tail", 1, 2) in cache
+    cache.version = "v2"  # the same handle after the source of truth moved
+    assert cache.get(("tail", 1, 2)) is None
+    assert ("tail", 1, 2) not in cache
+    cache.version = "v1"
+    assert cache.get(("tail", 1, 2)) == 1
+
+
+def test_invalidate_drops_entries_and_rekeys():
+    cache = ScoreCache(maxsize=4, version="v1")
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.invalidate("v2") == 2
+    assert len(cache) == 0
+    assert cache.version == "v2"
+    cache.put("a", 3)
+    assert cache.get("a") == 3
+    # Invalidation without a new version just clears under the same key space.
+    assert cache.invalidate() == 1
+    assert cache.version == "v2" and len(cache) == 0
+
+
+def test_version_and_invalidations_survive_pickle():
+    cache = ScoreCache(maxsize=4, version="v1")
+    cache.put("a", 1)
+    cache.invalidate("v2")
+    cache.put("a", 2)
+    restored = pickle.loads(pickle.dumps(cache))
+    assert restored.version == "v2"
+    assert restored.get("a") == 2
+    assert restored._invalidations == 1
